@@ -1,0 +1,27 @@
+# Convenience targets for the Comp-vs-Comm reproduction.
+
+.PHONY: install test bench experiments examples all clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro experiment all
+
+examples:
+	@for script in examples/*.py; do \
+		echo "===== $$script"; \
+		python "$$script" || exit 1; \
+	done
+
+all: test bench
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
+	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one paper table/figure via its experiment runner,
+reports the regeneration time through pytest-benchmark, and asserts the
+paper's qualitative bands on the produced rows (shape fidelity, not
+absolute numbers -- our substrate is a simulator, not the authors'
+testbed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import projection
+from repro.hardware.cluster import ClusterSpec, mi210_node
+
+
+@pytest.fixture(scope="session")
+def cluster() -> ClusterSpec:
+    return mi210_node()
+
+
+@pytest.fixture(scope="session")
+def suite(cluster):
+    return projection.fit_operator_models(cluster)

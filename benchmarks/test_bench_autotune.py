@@ -1,0 +1,17 @@
+"""Bench: parallelism-planning extension."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_autotune
+
+
+def test_bench_autotune(benchmark, cluster):
+    result = benchmark(ext_autotune.run, cluster)
+    assert len(result.rows) == 2
+    for row in result.rows:
+        assert row[6] != "infeasible"
+        # The chosen plan mixes axes (no degenerate all-one-axis plan
+        # wins at these scales) and clearly beats the worst feasible one.
+        assert "TP=" in row[2] and "DP=" in row[2]
+        margin = float(row[6].split("x")[0])
+        assert margin > 1.5

@@ -1,0 +1,13 @@
+"""Bench: baseline-size ablation for the operator models."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_baseline
+
+
+def test_bench_baseline_size(benchmark, cluster):
+    result = benchmark(ext_baseline.run, cluster)
+    errors = [float(v) for v in result.column("geomean abs err")]
+    # The paper's remark: larger baselines project more accurately.
+    assert errors == sorted(errors, reverse=True)
+    assert errors[-1] < errors[0] / 3

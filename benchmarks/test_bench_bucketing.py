@@ -1,0 +1,16 @@
+"""Bench: gradient-bucket tuning curve."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_bucketing
+
+
+def test_bench_bucketing(benchmark, cluster):
+    result = benchmark(ext_bucketing.run, cluster)
+    iterations = {row[0]: float(row[4]) for row in result.rows}
+    best = min(iterations.values())
+    # The tuning curve is U-shaped: both extremes lose clearly to the
+    # best middle bucket size.
+    assert iterations["0.25 MB"] > 1.5 * best
+    assert iterations["unbounded (1 bucket)"] > 1.1 * best
+    assert iterations["32 MB"] == best

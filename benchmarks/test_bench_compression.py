@@ -1,0 +1,16 @@
+"""Bench: gradient-compression extension."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_compression
+
+
+def test_bench_compression(benchmark):
+    result = benchmark(ext_compression.run)
+    rows = {row[0]: row for row in result.rows}
+    plain = rows["uncompressed"]
+    onebit = rows["1-bit"]
+    # On exposed-communication hardware, compression wins: less exposed
+    # comm and a faster iteration.
+    assert float(onebit[2]) < float(plain[2]) / 2
+    assert float(onebit[4]) > 1.05

@@ -1,0 +1,14 @@
+"""Bench: bidirectional compute/comm contention."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_contention
+
+
+def test_bench_contention(benchmark, cluster):
+    result = benchmark(ext_contention.run, cluster)
+    relative = [float(row[3]) for row in result.rows]
+    # No contention is the identity; stronger contention strictly hurts.
+    assert relative[0] == 1.0
+    assert relative == sorted(relative)
+    assert relative[-1] > 1.02

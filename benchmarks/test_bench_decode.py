@@ -1,0 +1,19 @@
+"""Bench: autoregressive-decode extension (Section 6.3)."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_decode
+
+
+def test_bench_decode(benchmark, cluster):
+    result = benchmark(ext_decode.run, cluster)
+    tps = result.column("TP")
+    latency = [float(v) for v in result.column("latency/token (ms)")]
+    comm = [float(v) for v in result.column("comm fraction")]
+    # Latency falls with TP but saturates; comm fraction explodes.
+    assert latency == sorted(latency, reverse=True)
+    assert comm == sorted(comm)
+    assert comm[-1] > 0.3
+    # Scaling TP 16 -> 32 is far from the ideal 2x.
+    i16, i32 = tps.index(16), tps.index(32)
+    assert latency[i16] / latency[i32] < 1.6

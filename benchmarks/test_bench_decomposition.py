@@ -1,0 +1,21 @@
+"""Bench: fine-grained decomposition extension (Section 5, Technique 3)."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_decomposition
+
+
+def test_bench_decomposition(benchmark, cluster):
+    result = benchmark(ext_decomposition.run, cluster)
+    speedups = {}
+    for regime, chunks, _, speedup in result.rows:
+        speedups[(regime, chunks)] = float(speedup)
+    # Compute-heavy regime: moderate chunking wins.
+    compute_heavy = [v for (r, c), v in speedups.items()
+                     if r.startswith("compute") and c in (2, 4)]
+    assert max(compute_heavy) > 1.0
+    # Comm-heavy regime: fragmentation backfires, monotonically worse.
+    comm_heavy = [speedups[("comm-heavy (TP=256)", c)]
+                  for c in (1, 2, 4, 8, 16)]
+    assert comm_heavy == sorted(comm_heavy, reverse=True)
+    assert comm_heavy[-1] < 0.8

@@ -1,0 +1,17 @@
+"""Bench: energy-accounting extension."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_energy
+
+
+def test_bench_energy(benchmark):
+    result = benchmark(ext_energy.run)
+    for row in result.rows:
+        comm_today = float(row[3])
+        movement = float(row[4])
+        comm_future = float(row[5])
+        # Data movement is a major energy slice, and pricier links push
+        # communication's energy share up sharply.
+        assert movement > 0.3
+        assert comm_future > 2 * comm_today

@@ -1,0 +1,51 @@
+"""Performance benches for the simulation engine itself.
+
+These measure the library's own throughput: scheduling large task DAGs,
+executing full-model traces, and projecting the entire Table 3 sweep --
+the operations a user iterates on.
+"""
+
+from __future__ import annotations
+
+from repro.core import projection
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.core.strategy import TABLE3_SWEEP
+from repro.models.trace import layer_trace, training_trace
+from repro.models.zoo import MODEL_ZOO
+from repro.sim.engine import Task, run_schedule
+from repro.sim.executor import execute_trace
+
+
+def test_bench_scheduler_10k_tasks(benchmark):
+    tasks = []
+    for index in range(10_000):
+        deps = (f"t{index - 1}",) if index % 3 == 0 and index else ()
+        tasks.append(Task(id=f"t{index}",
+                          resource=("compute", "comm")[index % 2],
+                          duration=1e-5, deps=deps))
+    schedule = benchmark(run_schedule, tasks)
+    assert len(schedule.tasks) == 10_000
+    assert schedule.makespan > 0
+
+
+def test_bench_full_gpt3_iteration(benchmark, cluster):
+    model = MODEL_ZOO["GPT-3"]
+    trace = training_trace(model, ParallelConfig(tp=32, dp=8))
+    result = benchmark(execute_trace, trace, cluster)
+    assert result.breakdown.iteration_time > 0
+    # 96 layers x (fwd + bwd) operators.
+    assert len(trace) > 2000
+
+
+def test_bench_project_full_table3_sweep(benchmark, cluster, suite):
+    def project_all():
+        fractions = []
+        for model, parallel in TABLE3_SWEEP.configs(batch=1):
+            trace = layer_trace(model, parallel)
+            breakdown = suite.project_execution(trace).breakdown
+            fractions.append(breakdown.serialized_comm_fraction)
+        return fractions
+
+    fractions = benchmark(project_all)
+    assert len(fractions) == 196
+    assert all(0 <= f < 1 for f in fractions)

@@ -1,0 +1,40 @@
+"""Bench: regenerate Figure 10 (serialized communication fraction)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_serialized
+
+
+def _fractions(result):
+    fractions = {}
+    for line, hidden, seq_len, tp, fraction, _ in result.rows:
+        fractions[(hidden, tp)] = float(fraction)
+    return fractions
+
+
+def test_bench_fig10_ground_truth(benchmark, cluster):
+    result = benchmark(fig10_serialized.run, cluster)
+    fractions = _fractions(result)
+    # Rises with TP for every line.
+    for hidden in (4096, 16384, 65536):
+        line = [fractions[(hidden, tp)]
+                for tp in (4, 8, 16, 32, 64, 128, 256)]
+        assert line == sorted(line)
+    # Falls with H at fixed TP.
+    assert fractions[(65536, 64)] < fractions[(16384, 64)] < (
+        fractions[(4096, 64)]
+    )
+    # Highlighted diagonal reaches ~half the iteration (paper: up to ~50%).
+    assert 0.4 <= fractions[(65536, 256)] <= 0.65
+
+
+def test_bench_fig10_via_projection(benchmark, cluster, suite):
+    # The paper's actual pipeline: operator-model projection instead of
+    # executing each configuration.
+    result = benchmark(fig10_serialized.run, cluster, suite)
+    fractions = _fractions(result)
+    for hidden in (4096, 16384, 65536):
+        line = [fractions[(hidden, tp)]
+                for tp in (4, 8, 16, 32, 64, 128, 256)]
+        assert line == sorted(line)
+    assert fractions[(65536, 256)] > 0.25

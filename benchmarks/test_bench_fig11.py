@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 11 (overlapped comm vs compute)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig11_overlap
+
+
+def test_bench_fig11(benchmark, cluster):
+    result = benchmark(fig11_overlap.run, cluster)
+    ratios = {(row[0], row[1]): float(row[2]) for row in result.rows}
+    # Falls with SL*B for every H (the Equation 9 slack).
+    for hidden in (1024, 2048, 4096, 8192, 16384):
+        line = [ratios[(hidden, slb)]
+                for slb in (1024, 2048, 4096, 8192)]
+        assert line == sorted(line, reverse=True)
+    # Higher at smaller H (network underutilization, Section 4.3.5).
+    assert ratios[(1024, 4096)] > ratios[(16384, 4096)]
+    # Paper band: 17-140% across the sweep, 20-55% at SL*B = 4K.
+    all_values = list(ratios.values())
+    assert max(all_values) > 1.0
+    assert min(all_values) > 0.05
+    slb4k = [ratios[(h, 4096)] for h in (1024, 2048, 4096, 8192, 16384)]
+    assert 0.15 <= min(slb4k) and max(slb4k) <= 1.0

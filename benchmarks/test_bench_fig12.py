@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 12 (hardware evolution vs serialized comm)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_hw_serialized
+
+
+def test_bench_fig12(benchmark, cluster):
+    result = benchmark(fig12_hw_serialized.run, cluster)
+    by_scenario = {}
+    for _, _, scenario, _, fraction in result.rows:
+        by_scenario.setdefault(scenario, []).append(float(fraction))
+    today = by_scenario["1x (today)"]
+    twox = by_scenario["2x flop-vs-bw"]
+    fourx = by_scenario["4x flop-vs-bw"]
+    # Every configuration's fraction grows with the flop-vs-bw ratio.
+    for t, two, four in zip(today, twox, fourx):
+        assert t < two < four
+    # Paper bands: 20-50% -> 30-65% -> 40-75% (we assert the same class).
+    assert 0.3 <= max(today) <= 0.6
+    assert 0.45 <= max(twox) <= 0.75
+    assert 0.55 <= max(fourx) <= 0.85

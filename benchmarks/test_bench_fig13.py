@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 13 (hardware evolution vs overlapped comm)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig13_hw_overlap
+
+
+def test_bench_fig13(benchmark, cluster):
+    result = benchmark(fig13_hw_overlap.run, cluster)
+    by_scenario = {}
+    exposures = {}
+    for hidden, slb, scenario, ratio, status in result.rows:
+        by_scenario.setdefault(scenario, []).append(float(ratio))
+        exposures.setdefault(scenario, []).append(status)
+    today = by_scenario["1x (today)"]
+    fourx = by_scenario["4x flop-vs-bw"]
+    # Compute acceleration scales each ratio by the flop-vs-bw factor.
+    for t, f in zip(today, fourx):
+        assert f > 3.5 * t
+    # Paper: at 4x the communication is exposed (>= 100%) in many cases.
+    assert "EXPOSED" in exposures["4x flop-vs-bw"]
+    assert all(status == "hidden" for status in exposures["1x (today)"])

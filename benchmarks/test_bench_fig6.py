@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 6 (memory demand vs capacity trends)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_memory_gap
+
+
+def test_bench_fig6(benchmark):
+    result = benchmark(fig6_memory_gap.run)
+    gaps = [float(g.rstrip("x")) for g in
+            result.column("demand/capacity gap")]
+    params = [float(p.rstrip("x")) for p in result.column("params")]
+    capacity = [float(c.rstrip("x")) for c in
+                result.column("device capacity")]
+    # Paper: models grow ~1000x while capacity grows ~5x -> gap widens.
+    assert params[-1] > 1000
+    assert capacity[-1] < 10
+    assert gaps[-1] > 10 * gaps[0]

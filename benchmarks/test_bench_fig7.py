@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 7 (algorithmic slack and edge scaling)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig7_algorithmic
+
+
+def test_bench_fig7(benchmark):
+    result = benchmark(fig7_algorithmic.run)
+    slack = [float(v) for v in result.column("slack (SL*B, norm)")]
+    edge = [float(v) for v in result.column("edge ((H+SL)/TP, norm)")]
+    assert slack[0] == edge[0] == 1.0
+    # Paper: ~75% slack drop (B -> 1) and ~80% edge drop (TP growth).
+    assert 0.6 <= 1 - slack[-1] <= 0.9
+    assert 1 - edge[-1] >= 0.6

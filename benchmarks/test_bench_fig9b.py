@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 9(b) (required TP scaling)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig9b_tp_scaling
+
+
+def test_bench_fig9b(benchmark):
+    result = benchmark(fig9b_tp_scaling.run)
+    ps = [float(v.rstrip("x")) for v in result.column("p/s")]
+    tps = result.column("required TP (pow2)")
+    # Paper: p/s reaches ~40-60x -> required TP of ~250-550.
+    assert 40 <= max(ps) <= 60
+    assert max(tps) >= 256

@@ -1,0 +1,18 @@
+"""Bench: model-evolution forecast extension (Section 4.2.1, Step 1)."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_forecast
+
+
+def test_bench_forecast(benchmark, cluster):
+    result = benchmark(ext_forecast.run, cluster)
+    assert len(result.rows) == 5  # 2023..2027
+    # Every forecasted model needs a large TP degree and spends roughly
+    # half its time (or more) in serialized communication -- the paper's
+    # projection for future models.
+    for row in result.rows:
+        assert row[5] >= 64
+        assert float(row[6]) >= 0.35
+        # 4x flop-vs-bw hardware always makes it worse.
+        assert float(row[7]) > float(row[6])

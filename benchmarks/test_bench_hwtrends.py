@@ -1,0 +1,16 @@
+"""Bench: hardware flop-vs-bw trend derivation."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_hwtrends
+
+
+def test_bench_hwtrends(benchmark):
+    result = benchmark(ext_hwtrends.run)
+    ratios = {row[0]: float(row[4].rstrip("x")) for row in result.rows}
+    # The paper's derivation window: 2-4x for the 2018-2020 transitions.
+    assert 2.0 <= ratios["V100 -> A100"] <= 3.0
+    assert 3.0 <= ratios["MI50 -> MI100"] <= 4.5
+    # The AMD line keeps diverging; H100's NVLink4 rebalanced NVIDIA's.
+    assert ratios["MI250X -> MI300X"] > 1.5
+    assert ratios["A100 -> H100"] < 1.5

@@ -1,0 +1,13 @@
+"""Bench: Section 6.3 distributed-inference extension."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_inference
+
+
+def test_bench_inference(benchmark, cluster):
+    result = benchmark(ext_inference.run, cluster)
+    for hidden, tp, training, inference in result.rows:
+        # Forward-only execution keeps the forward all-reduces over a
+        # third of the compute: a higher communication share.
+        assert float(inference) > float(training)

@@ -1,0 +1,16 @@
+"""Bench: Section 6.1.1 MoE / expert-parallelism extension."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_moe
+
+
+def test_bench_moe(benchmark, cluster):
+    result = benchmark(ext_moe.run, cluster)
+    dense_fraction = float(result.rows[0][2])
+    moe_fractions = [float(row[2]) for row in result.rows[1:]]
+    # Expert parallelism adds critical-path all-to-all: every MoE variant
+    # has a higher serialized-communication share than dense.
+    assert all(f > dense_fraction for f in moe_fractions)
+    # And the share grows with the expert-parallel degree.
+    assert moe_fractions == sorted(moe_fractions)

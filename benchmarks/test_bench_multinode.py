@@ -1,0 +1,17 @@
+"""Bench: intra-node optimism vs multi-node reality."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_multinode
+
+
+def test_bench_multinode(benchmark):
+    result = benchmark(ext_multinode.run)
+    for row in result.rows:
+        flat = float(row[2])
+        multi = float(row[3])
+        inflation = float(row[4].rstrip("x"))
+        # Multi-node communication is strictly worse than the paper's
+        # optimistic flat estimate, by a multiple.
+        assert multi > flat
+        assert inflation > 1.5

@@ -1,0 +1,20 @@
+"""Bench: CPU-offload extension (Section 6.1.3)."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_offload
+
+
+def test_bench_offload(benchmark, cluster):
+    result = benchmark(ext_offload.run, cluster)
+    rows = {(row[0], row[1]): row for row in result.rows}
+    # Memory savings shrink as activations grow with batch.
+    assert float(rows[(1, "PCIe4x16")][2]) > float(rows[(16, "PCIe4x16")][2])
+    # Small batches expose host work; large batches hide it.
+    assert rows[(1, "PCIe4x16")][5] == "no (exposed)"
+    assert rows[(16, "PCIe4x16")][5] == "yes"
+    # The faster link always helps the slowdown.
+    for batch in (1, 4, 16):
+        assert float(rows[(batch, "PCIe5x16")][4]) <= float(
+            rows[(batch, "PCIe4x16")][4]
+        )

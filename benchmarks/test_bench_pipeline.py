@@ -1,0 +1,14 @@
+"""Bench: Section 6.1.2 pipeline-parallelism extension."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_pipeline
+
+
+def test_bench_pipeline(benchmark):
+    result = benchmark(ext_pipeline.run)
+    rows = {(row[0], row[1]): row for row in result.rows}
+    # Bubbles shrink with micro-batching but P2P communication grows with
+    # stage count -- the trade the paper cites for setting PP aside.
+    assert float(rows[(8, 8)][2]) < float(rows[(8, 1)][2])
+    assert float(rows[(8, 4)][3]) > float(rows[(2, 4)][3])

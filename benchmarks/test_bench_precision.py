@@ -1,0 +1,18 @@
+"""Bench: Section 6.2 precision ablation."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_precision
+
+
+def test_bench_precision(benchmark, cluster):
+    result = benchmark(ext_precision.run, cluster)
+    fractions = {}
+    for line, tp, precision, fraction in result.rows:
+        fractions[(line, precision)] = float(fraction)
+    lines = {row[0] for row in result.rows}
+    for line in lines:
+        # Narrower formats scale compute more than communicated bytes,
+        # raising communication's share (the paper's Section 6.2 claim).
+        assert fractions[(line, "fp32")] < fractions[(line, "fp16")]
+        assert fractions[(line, "fp16")] <= fractions[(line, "fp8")] + 0.02

@@ -1,0 +1,17 @@
+"""Bench: whole-iteration projection validation."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_projection_validation
+
+
+def test_bench_projection_validation(benchmark, cluster):
+    result = benchmark(ext_projection_validation.run, cluster)
+    values = dict(zip(result.column("quantity"), result.column("value")))
+    # Projection tracks ground truth tightly across the grid.
+    assert float(values["R^2"]) > 0.9
+    assert float(values["mean |projected - truth| (abs fraction)"]) < 0.15
+    # Slope below 1: the linear all-reduce law misses the straggler and
+    # saturation penalties at extreme TP -- the same blindness the
+    # paper's own projections carry.
+    assert 0.5 < float(values["fit slope (projected ~ truth)"]) <= 1.1

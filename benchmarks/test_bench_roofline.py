@@ -1,0 +1,14 @@
+"""Bench: roofline-census validation (Section 4.2.3 premise)."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_roofline
+
+
+def test_bench_roofline(benchmark, cluster):
+    result = benchmark(ext_roofline.run, cluster)
+    for row in result.rows:
+        # GEMM FLOPs live above the ridge: the premise behind scaling
+        # compute FLOPS and network bandwidth rather than memory BW.
+        assert float(row[3]) > 0.9
+        assert float(row[4]) > 0.6

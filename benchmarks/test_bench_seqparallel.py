@@ -1,0 +1,15 @@
+"""Bench: sequence-parallelism extension."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_seqparallel
+
+
+def test_bench_seqparallel(benchmark, cluster):
+    result = benchmark(ext_seqparallel.run, cluster)
+    for row in result.rows:
+        plain_ms, sp_ms = float(row[1]), float(row[2])
+        # Same communicated bytes: iteration times within ~20%.
+        assert abs(sp_ms - plain_ms) / plain_ms < 0.2
+        # Real memory savings.
+        assert float(row[5]) > 0

@@ -1,0 +1,21 @@
+"""Bench: regenerate the Section 4.3.8 profiling-speedup accounting."""
+
+from __future__ import annotations
+
+from repro.experiments import speedup
+
+
+def test_bench_speedup(benchmark, cluster):
+    result = benchmark(speedup.run, cluster)
+    values = dict(zip(result.column("quantity"), result.column("value")))
+    operator_speedup = float(values["operator-model speedup"].rstrip("x"))
+    roi_speedup = float(values["ROI-extraction speedup"].rstrip("x"))
+    # Paper: ~2100x over ~198 configurations; ~1.5x from ROI extraction.
+    assert operator_speedup > 1000
+    assert 1.2 <= roi_speedup <= 5.0
+    assert values["sweep configurations (B=1)"] == "196"
+    # Projection covers configurations exhaustive profiling cannot even
+    # run (models too large for device memory).
+    assert int(values["covered by projection"]) >= int(
+        values["memory-feasible (exhaustively runnable)"]
+    )

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 2 (model zoo hyperparameters)."""
+
+from __future__ import annotations
+
+from repro.experiments import table2_zoo
+
+
+def test_bench_table2(benchmark):
+    result = benchmark(table2_zoo.run)
+    assert len(result.rows) == 8
+    assert result.column("model")[0] == "BERT"
+    assert result.column("model")[-1] == "PaLM"
+    # Reported sizes span the paper's >1000x growth.
+    sizes = [float(s) for s in result.column("size(B) reported")]
+    assert sizes[-1] / sizes[0] > 1000

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 3 (studied configuration space)."""
+
+from __future__ import annotations
+
+from repro.experiments import table3_sweep
+
+
+def test_bench_table3(benchmark):
+    result = benchmark(table3_sweep.run)
+    values = dict(zip(result.column("parameter / setup"),
+                      result.column("values")))
+    # The paper's ~196-configuration serialized-communication sweep.
+    assert values["serialized-comm sweep (B=1)"] == "196"
+    assert "64K" in values["H"]
+    assert "256" in values["TP degree"]

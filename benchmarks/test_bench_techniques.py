@@ -1,0 +1,20 @@
+"""Bench: Section 5 communication-acceleration techniques."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_techniques
+
+
+def test_bench_techniques(benchmark, cluster):
+    result = benchmark(ext_techniques.run, cluster)
+    critical = {row[0]: float(row[2]) for row in result.rows}
+    baseline = critical["baseline (4x flop-vs-bw, interference)"]
+    # Every technique reduces critical-path communication vs the baseline.
+    for name, value in critical.items():
+        if name != "baseline (4x flop-vs-bw, interference)":
+            assert value < baseline, name
+    # Scaling the network with compute is the most effective remedy
+    # (the paper's headline recommendation).
+    assert critical["technique: network scales with compute"] == min(
+        critical.values()
+    )

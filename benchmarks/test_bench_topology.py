@@ -1,0 +1,16 @@
+"""Bench: fabric-topology extension."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_topology
+
+
+def test_bench_topology(benchmark):
+    result = benchmark(ext_topology.run)
+    fractions = {row[0]: float(row[2]) for row in result.rows}
+    # Less fabric bandwidth -> larger communication share.
+    assert fractions["fully-connected"] < fractions["2d-torus"] < (
+        fractions["switch"]
+    )
+    # PIN recovers part of the switch's deficit (2x effective bandwidth).
+    assert fractions["switch + in-network reduction"] < fractions["switch"]

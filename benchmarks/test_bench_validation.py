@@ -1,0 +1,12 @@
+"""Bench: algorithmic-law validation (Equations 6 and 9)."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_validation
+
+
+def test_bench_validation(benchmark, cluster):
+    result = benchmark(ext_validation.run, cluster)
+    r2 = [float(row[3]) for row in result.rows]
+    # Both laws predict the measured ratios with R^2 > 0.9.
+    assert all(value > 0.9 for value in r2)

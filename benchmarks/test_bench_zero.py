@@ -1,0 +1,18 @@
+"""Bench: ZeRO extension (Section 6.1.3 context)."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_zero
+
+
+def test_bench_zero(benchmark, cluster):
+    result = benchmark(ext_zero.run, cluster)
+    memory_gb = [float(row[1]) for row in result.rows]
+    dp_comm = [float(row[2]) for row in result.rows]
+    # Memory shrinks monotonically across plain DP -> stage 3.
+    assert memory_gb == sorted(memory_gb, reverse=True)
+    assert memory_gb[-1] < memory_gb[0] / 2
+    # Stages 1/2 keep plain DP's communication volume (~equal time);
+    # stage 3's backward re-gather costs ~1.5x.
+    assert abs(dp_comm[1] - dp_comm[0]) / dp_comm[0] < 0.25
+    assert dp_comm[3] > 1.25 * dp_comm[1]

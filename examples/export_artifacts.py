@@ -1,0 +1,65 @@
+"""Scenario: export everything for an external analysis pipeline.
+
+A downstream team wants the reproduction's raw artifacts -- experiment
+tables as JSON, an operator trace, its kernel profile, and a rendered
+timeline -- to feed their own plotting/diffing tools.  This example
+produces a self-contained artifact directory using the library's
+serialization and reporting machinery.
+
+Run:  python examples/export_artifacts.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro import ModelConfig, ParallelConfig, mi210_node
+from repro.experiments.registry import get_experiment
+from repro.models.trace import training_trace
+from repro.sim import serialize
+from repro.sim.executor import execute_trace
+from repro.sim.profiler import profile_trace
+from repro.sim.timeline import render_timeline
+
+EXPERIMENTS = ("figure-10", "figure-11", "figure-14", "speedup-4.3.8")
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("artifacts")
+    out.mkdir(parents=True, exist_ok=True)
+    cluster = mi210_node()
+
+    for experiment_id in EXPERIMENTS:
+        result = get_experiment(experiment_id)()
+        target = out / f"{experiment_id}.json"
+        target.write_text(result.to_json(), encoding="utf-8")
+        print(f"wrote {target}")
+
+    model = ModelConfig(name="export-demo", hidden=8192, seq_len=2048,
+                        batch=1, num_layers=2, num_heads=64)
+    parallel = ParallelConfig(tp=16, dp=4)
+    trace = training_trace(model, parallel)
+
+    serialize.save_json(serialize.trace_to_dict(trace),
+                        out / "trace.json")
+    print(f"wrote {out / 'trace.json'}")
+
+    profile = profile_trace(trace, cluster)
+    serialize.save_json(serialize.profile_to_dict(profile),
+                        out / "profile.json")
+    print(f"wrote {out / 'profile.json'}")
+
+    result = execute_trace(trace, cluster)
+    serialize.save_json(serialize.breakdown_to_dict(result.breakdown),
+                        out / "breakdown.json")
+    (out / "timeline.txt").write_text(
+        render_timeline(result.schedule) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {out / 'breakdown.json'} and {out / 'timeline.txt'}")
+
+    print(f"\nartifact directory ready: {out}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Scenario: how much must the network scale to keep communication sane?
+
+The paper's conclusion asks system designers to scale network bandwidth
+"commensurate (if not more)" with compute.  This example quantifies that:
+for each of the Figure 10 model lines at its required TP degree, sweep the
+network-bandwidth scaling of a 4x-compute future device and find the
+smallest network scale that keeps serialized communication below a target
+share of training time.
+
+Run:  python examples/hardware_codesign.py
+"""
+
+from __future__ import annotations
+
+from repro import ModelConfig, ParallelConfig, mi210_node
+from repro.core.report import format_pct, format_table
+from repro.experiments import sweeps
+from repro.models.trace import layer_trace
+from repro.sim.executor import execute_trace
+
+COMPUTE_SCALE = 4.0
+TARGET_COMM_SHARE = 0.30
+NETWORK_SCALES = (1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0)
+
+
+def comm_share(hidden: int, seq_len: int, tp: int,
+               network_scale: float) -> float:
+    cluster = mi210_node().scaled(compute_scale=COMPUTE_SCALE,
+                                  network_scale=network_scale)
+    model = sweeps.serialized_model(hidden, seq_len, tp)
+    trace = layer_trace(model, ParallelConfig(tp=tp, dp=1))
+    return execute_trace(trace, cluster).breakdown.serialized_comm_fraction
+
+
+def main() -> None:
+    print(f"future device: compute x{COMPUTE_SCALE:g}; target: serialized "
+          f"communication <= {format_pct(TARGET_COMM_SHARE)}\n")
+    rows = []
+    for line in sweeps.SERIALIZED_LINES:
+        tp = dict((h, t) for h, t in sweeps.HIGHLIGHTED_CONFIGS)[line.hidden]
+        shares = {scale: comm_share(line.hidden, line.seq_len, tp, scale)
+                  for scale in NETWORK_SCALES}
+        needed = next((scale for scale in NETWORK_SCALES
+                       if shares[scale] <= TARGET_COMM_SHARE), None)
+        rows.append((
+            line.label,
+            tp,
+            format_pct(shares[1.0]),
+            format_pct(shares[COMPUTE_SCALE]),
+            f"x{needed:g}" if needed else f">x{NETWORK_SCALES[-1]:g}",
+        ))
+    print(format_table(
+        ("model line", "TP", "share @ net x1",
+         f"share @ net x{COMPUTE_SCALE:g}", "net scale needed"),
+        rows,
+    ))
+    print("\nreading: with the network frozen (x1), communication eats "
+          "most of the iteration; scaling it with compute "
+          f"(x{COMPUTE_SCALE:g}) restores today's balance -- the paper's "
+          "co-design requirement.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Scenario: pick the (TP, DP, PP) layout for a fixed device budget.
+
+Given 256 MI210s and a GPT-3-scale model, enumerate every power-of-two
+(TP, DP, PP) factorization, drop the ones that do not fit device memory,
+price the rest with the library's cost models, and print the ranking --
+the decision the paper's analysis exists to inform.
+
+Run:  python examples/parallelism_planner.py
+"""
+
+from __future__ import annotations
+
+from repro import ModelConfig, mi210_node
+from repro.core.autotune import enumerate_plans
+from repro.core.report import format_table
+
+MODEL = ModelConfig(name="gpt3-training", hidden=12288, seq_len=2048,
+                    batch=8, num_layers=96, num_heads=96)
+DEVICES = 256
+MICROBATCHES = 8
+
+
+def main() -> None:
+    cluster = mi210_node()
+    plans = enumerate_plans(MODEL, DEVICES, cluster,
+                            microbatches=MICROBATCHES)
+    print(f"{MODEL.name} on {DEVICES} x {cluster.device.name}: "
+          f"{len(plans)} feasible plans\n")
+    rows = [
+        (
+            f"TP={p.parallel.tp} DP={p.parallel.dp} PP={p.parallel.pp}",
+            f"{p.tokens_per_second:,.0f}",
+            f"{p.iteration_time * 1e3:.0f}",
+            f"{p.memory_gb:.1f}",
+            f"{p.serialized_comm_fraction:.1%}",
+        )
+        for p in plans
+    ]
+    print(format_table(
+        ("plan", "tokens/s", "iteration (ms)", "mem/device (GB)",
+         "serialized comm"),
+        rows,
+    ))
+    best = plans[0]
+    print(f"\nrecommended: TP={best.parallel.tp} DP={best.parallel.dp} "
+          f"PP={best.parallel.pp} -- the sweet spot where TP is just "
+          "large enough to fit memory, PP absorbs the rest of the model, "
+          "and DP multiplies throughput.")
+
+
+if __name__ == "__main__":
+    main()

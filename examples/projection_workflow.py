@@ -1,0 +1,73 @@
+"""The paper's empirical strategy as a user workflow (Section 4.2).
+
+Reproduces the methodology end to end:
+
+1. profile ONE baseline (BERT geometry) iteration at operator granularity
+   on the testbed;
+2. fit per-operator scaling laws (GEMM ~ FLOPs, LayerNorm ~ elements,
+   all-reduce ~ bytes with ring adjustment);
+3. project an arbitrary future configuration -- here a PaLM-3x-scale
+   Transformer at TP 256 that could never be profiled directly (it does
+   not even fit in device memory) -- and read off its Comp-vs-Comm split;
+4. validate the projection against simulator ground truth and report the
+   profiling cost saved.
+
+Run:  python examples/projection_workflow.py
+"""
+
+from __future__ import annotations
+
+from repro import ModelConfig, ParallelConfig, mi210_node
+from repro.core import projection, strategy
+from repro.core.report import format_ms, format_pct
+from repro.models import memory
+from repro.models.trace import layer_trace
+from repro.sim.executor import execute_trace
+
+
+def main() -> None:
+    testbed = mi210_node()
+
+    # -- Steps 1 + 2: one profiled baseline -> fitted operator models.
+    suite = projection.fit_operator_models(testbed)
+    print(f"baseline profiled: {suite.baseline_model.name} "
+          f"(H={suite.baseline_model.hidden}, "
+          f"SL={suite.baseline_model.seq_len}) -- "
+          f"{format_ms(suite.baseline_cost)} of testbed time")
+
+    # -- Step 3: project a configuration too large to run.
+    future = ModelConfig(name="palm-3x", hidden=65536, seq_len=4096,
+                         batch=1, num_heads=512)
+    parallel = ParallelConfig(tp=256, dp=8)
+    fits = memory.fits_on_device(future, parallel, testbed.device,
+                                 checkpointing=True)
+    print(f"\ntarget: {future.name} at TP={parallel.tp} "
+          f"(fits one device at TP=1? "
+          f"{memory.fits_on_device(future, ParallelConfig(), testbed.device)})")
+
+    trace = layer_trace(future, parallel)
+    projected = suite.project_execution(trace).breakdown
+    print(f"projected serialized comm share: "
+          f"{format_pct(projected.serialized_comm_fraction)}")
+    print(f"projected iteration time/layer:  "
+          f"{format_ms(projected.iteration_time)}")
+
+    # -- Step 4: validate against ground truth (the simulator can run what
+    # the real testbed could not).
+    actual = execute_trace(trace, testbed).breakdown
+    print(f"ground-truth serialized share:   "
+          f"{format_pct(actual.serialized_comm_fraction)}")
+
+    report = strategy.profiling_cost_report(suite, testbed)
+    print(f"\nprofiling-cost accounting over the Table 3 sweep "
+          f"({report.configs_total} configurations):")
+    print(f"  exhaustive execution: {report.exhaustive_cost:8.2f} s of "
+          f"testbed time ({report.configs_feasible} feasible configs)")
+    print(f"  operator-model path:  {report.strategy_cost:8.4f} s "
+          f"(1 baseline profile)")
+    print(f"  speedup:              {report.speedup:8.0f}x "
+          f"(paper: ~2100x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: analyze Comp-vs-Comm for one Transformer configuration.
+
+Builds a GPT-3-scale model, runs one training iteration on the simulated
+MI210 testbed under tensor + data parallelism, and prints where the time
+goes -- then repeats the run on "future hardware" whose compute scaled 4x
+faster than its network (the paper's flop-vs-bw scenario).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ModelConfig, ParallelConfig, mi210_node
+from repro.core.report import format_ms, format_pct
+from repro.models.trace import training_trace
+from repro.sim.executor import execute_trace
+from repro.sim.timeline import render_timeline
+
+
+def describe(label: str, breakdown) -> None:
+    print(f"--- {label}")
+    print(f"  iteration time:            {format_ms(breakdown.iteration_time)}")
+    print(f"  compute:                   {format_ms(breakdown.compute_time)}")
+    print(f"  serialized comm (TP):      {format_ms(breakdown.serialized_comm_time)}"
+          f"  ({format_pct(breakdown.serialized_comm_fraction)} of iteration)")
+    print(f"  overlapped comm (DP):      {format_ms(breakdown.overlapped_comm_time)}")
+    print(f"    hidden under compute:    {format_ms(breakdown.hidden_comm_time)}")
+    print(f"    exposed:                 {format_ms(breakdown.exposed_comm_time)}")
+    print(f"  comm on critical path:     {format_pct(breakdown.critical_comm_fraction)}")
+
+
+def main() -> None:
+    model = ModelConfig(
+        name="gpt3-scale",
+        hidden=12288,
+        seq_len=2048,
+        batch=1,
+        num_layers=4,       # per-layer behaviour repeats; 4 is plenty
+        num_heads=96,
+    )
+    parallel = ParallelConfig(tp=32, dp=8)
+    print(f"model: {model.name}  H={model.hidden} SL={model.seq_len} "
+          f"B={model.batch}  TP={parallel.tp} DP={parallel.dp}")
+
+    trace = training_trace(model, parallel)
+    testbed = mi210_node()
+    today = execute_trace(trace, testbed)
+    describe("today's hardware (MI210 node)", today.breakdown)
+    print("\nstream timeline (# busy, . idle):")
+    print(render_timeline(today.schedule, width=68))
+
+    # One GPU generation ahead at the historical flop-vs-bw ratio:
+    # compute 4x, network unchanged (Section 4.3.6).
+    future = testbed.scaled(compute_scale=4.0, network_scale=1.0)
+    describe("future hardware (4x flop-vs-bw)",
+             execute_trace(trace, future).breakdown)
+
+    print("\ntakeaway: faster compute alone turns communication into the "
+          "dominant cost -- the paper's central result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro: Comp-vs-Comm -- computation vs. communication scaling analysis
+for future Transformers on future hardware.
+
+A reproduction of "Tale of Two Cs: Computation vs. Communication Scaling
+for Future Transformers on Future Hardware" (IISWC 2023).  The library
+provides:
+
+* an **algorithmic analysis** of Transformer compute-operation and
+  communication-byte scaling under data and tensor parallelism
+  (:mod:`repro.core.flops`, :mod:`repro.core.edge`,
+  :mod:`repro.core.slack`);
+* a **simulated GPU testbed** -- calibrated operator and collective
+  timing models, clusters, and a two-stream execution engine
+  (:mod:`repro.hardware`, :mod:`repro.sim`);
+* the paper's **empirical strategy** -- ROI extraction, operator-level
+  runtime models, and projection of hundreds of future model/hardware
+  configurations from a single profiled baseline
+  (:mod:`repro.core.roi`, :mod:`repro.core.projection`,
+  :mod:`repro.core.strategy`);
+* **hardware-evolution scenarios** and every table/figure of the paper's
+  evaluation as a runnable experiment (:mod:`repro.core.evolution`,
+  :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import ModelConfig, ParallelConfig, mi210_node
+    from repro.models.trace import training_trace
+    from repro.sim import execute_trace
+
+    model = ModelConfig(name="my-llm", hidden=8192, seq_len=2048,
+                        batch=1, num_layers=4, num_heads=64)
+    result = execute_trace(training_trace(model, ParallelConfig(tp=16, dp=8)),
+                           mi210_node())
+    print(result.breakdown.serialized_comm_fraction)
+"""
+
+from repro.core.hyperparams import (
+    LayerType,
+    ModelConfig,
+    ParallelConfig,
+    Precision,
+)
+from repro.hardware.cluster import ClusterSpec, mi210_node, multi_node_cluster
+from repro.hardware.specs import DEVICE_CATALOG, MI210, DeviceSpec, get_device
+from repro.sim.breakdown import Breakdown
+from repro.sim.executor import execute_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Breakdown",
+    "ClusterSpec",
+    "DEVICE_CATALOG",
+    "DeviceSpec",
+    "LayerType",
+    "MI210",
+    "ModelConfig",
+    "ParallelConfig",
+    "Precision",
+    "__version__",
+    "execute_trace",
+    "get_device",
+    "mi210_node",
+    "multi_node_cluster",
+]

@@ -1,0 +1,278 @@
+"""Command-line interface.
+
+Four subcommands cover the common workflows::
+
+    python -m repro analyze --hidden 8192 --tp 16 --dp 8   # one config
+    python -m repro experiment figure-10                   # reproduce art.
+    python -m repro experiment all                         # everything
+    python -m repro zoo                                     # Table 2
+    python -m repro forecast --start 2023 --end 2027        # future models
+
+``analyze`` prints the Comp-vs-Comm breakdown of one configuration on the
+simulated MI210 testbed (optionally scaled to future hardware);
+``experiment`` regenerates any registered paper table/figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig, Precision
+from repro.core.report import format_ms, format_pct
+from repro.hardware.cluster import mi210_node
+from repro.hardware.specs import DEVICE_CATALOG, get_device
+from repro.models.trace import training_trace
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Comp-vs-Comm analysis for Transformers "
+                    "(IISWC 2023 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="break down one training configuration"
+    )
+    analyze.add_argument("--hidden", type=int, required=True,
+                         help="hidden dimension H")
+    analyze.add_argument("--seq-len", type=int, required=True,
+                         help="sequence length SL")
+    analyze.add_argument("--batch", type=int, default=1,
+                         help="per-replica batch size B (default 1)")
+    analyze.add_argument("--layers", type=int, default=4,
+                         help="layer count (default 4)")
+    analyze.add_argument("--heads", type=int, default=0,
+                         help="attention heads (default: H/128, >= TP)")
+    analyze.add_argument("--tp", type=int, default=1,
+                         help="tensor-parallel degree")
+    analyze.add_argument("--dp", type=int, default=1,
+                         help="data-parallel degree")
+    analyze.add_argument("--precision",
+                         choices=[p.value for p in Precision],
+                         default="fp16")
+    analyze.add_argument("--device", choices=sorted(DEVICE_CATALOG),
+                         default="MI210")
+    analyze.add_argument("--compute-scale", type=float, default=1.0,
+                         help="future-hardware compute scaling")
+    analyze.add_argument("--network-scale", type=float, default=1.0,
+                         help="future-hardware network scaling")
+    analyze.add_argument("--timeline", action="store_true",
+                         help="render an ASCII stream timeline")
+    analyze.add_argument("--hotspots", type=int, default=0, metavar="N",
+                         help="show the N hottest operators")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="reproduce a paper table/figure"
+    )
+    experiment.add_argument("id",
+                            help='experiment id (e.g. "figure-10") or '
+                                 '"all" / "list"')
+    experiment.add_argument("--format", choices=("text", "json", "csv"),
+                            default="text",
+                            help="output format (default text)")
+    experiment.add_argument("--output", "-o", default=None,
+                            help="write to a file instead of stdout")
+
+    subparsers.add_parser("zoo", help="print the Table 2 model zoo")
+
+    forecast = subparsers.add_parser(
+        "forecast", help="synthesize and analyze future Transformers"
+    )
+    forecast.add_argument("--start", type=int, default=2023)
+    forecast.add_argument("--end", type=int, default=2027)
+
+    plan = subparsers.add_parser(
+        "plan", help="rank (TP, DP, PP) layouts for a device budget"
+    )
+    plan.add_argument("--hidden", type=int, required=True)
+    plan.add_argument("--seq-len", type=int, required=True)
+    plan.add_argument("--layers", type=int, default=32)
+    plan.add_argument("--batch", type=int, default=8)
+    plan.add_argument("--heads", type=int, default=0,
+                      help="attention heads (default: H/128)")
+    plan.add_argument("--devices", type=int, required=True,
+                      help="world size (power of two)")
+    plan.add_argument("--microbatches", type=int, default=1)
+    plan.add_argument("--top", type=int, default=5,
+                      help="show the N best plans")
+
+    return parser
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.sim.executor import execute_trace
+
+    heads = args.heads or max(args.tp, max(1, args.hidden // 128))
+    try:
+        model = ModelConfig(
+            name="cli-model",
+            hidden=args.hidden,
+            seq_len=args.seq_len,
+            batch=args.batch,
+            num_layers=args.layers,
+            num_heads=heads,
+            precision=Precision(args.precision),
+        )
+        parallel = ParallelConfig(tp=args.tp, dp=args.dp)
+        cluster = replace(mi210_node(), device=get_device(args.device))
+        cluster = cluster.scaled(compute_scale=args.compute_scale,
+                                 network_scale=args.network_scale)
+        trace = training_trace(model, parallel)
+        result = execute_trace(trace, cluster)
+        breakdown = result.breakdown
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"config: H={model.hidden} SL={model.seq_len} B={model.batch} "
+          f"layers={model.num_layers} TP={parallel.tp} DP={parallel.dp} "
+          f"({model.precision.value} on {args.device}, "
+          f"compute x{args.compute_scale:g}, network x{args.network_scale:g})")
+    print(f"iteration time:        {format_ms(breakdown.iteration_time)}")
+    print(f"compute:               {format_ms(breakdown.compute_time)}")
+    print(f"serialized comm:       "
+          f"{format_ms(breakdown.serialized_comm_time)} "
+          f"({format_pct(breakdown.serialized_comm_fraction)})")
+    print(f"overlapped comm:       "
+          f"{format_ms(breakdown.overlapped_comm_time)} "
+          f"(hidden {format_ms(breakdown.hidden_comm_time)}, "
+          f"exposed {format_ms(breakdown.exposed_comm_time)})")
+    print(f"comm on critical path: "
+          f"{format_pct(breakdown.critical_comm_fraction)}")
+    if args.timeline:
+        from repro.sim.timeline import render_timeline
+        print()
+        print(render_timeline(result.schedule))
+    if args.hotspots:
+        from repro.sim.profiler import profile_trace
+        profile = profile_trace(trace, cluster)
+        print()
+        print(f"top {args.hotspots} operators:")
+        for name, seconds, share in profile.hotspots(args.hotspots):
+            print(f"  {name:20s} {format_ms(seconds)}  "
+                  f"({format_pct(share)})")
+    return 0
+
+
+def _render(result, fmt: str) -> str:
+    if fmt == "json":
+        return result.to_json()
+    if fmt == "csv":
+        return result.to_csv()
+    return result.to_text()
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+    else:
+        print(text)
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import registry
+
+    if args.id == "list":
+        _emit("\n".join(registry.EXPERIMENTS), args.output)
+        return 0
+    if args.id == "all":
+        rendered = [_render(result, args.format)
+                    for result in registry.run_all()]
+        _emit("\n\n".join(rendered), args.output)
+        return 0
+    try:
+        runner = registry.get_experiment(args.id)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _emit(_render(runner(), args.format), args.output)
+    return 0
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    from repro.experiments import table2_zoo
+
+    print(table2_zoo.run().to_text())
+    return 0
+
+
+def _cmd_forecast(args: argparse.Namespace) -> int:
+    from repro.experiments import ext_forecast
+
+    try:
+        result = ext_forecast.run(start_year=args.start, end_year=args.end)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.to_text())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.autotune import enumerate_plans
+    from repro.core.report import format_table
+
+    heads = args.heads or max(1, args.hidden // 128)
+    try:
+        model = ModelConfig(
+            name="cli-plan",
+            hidden=args.hidden,
+            seq_len=args.seq_len,
+            batch=args.batch,
+            num_layers=args.layers,
+            num_heads=heads,
+        )
+        plans = enumerate_plans(model, args.devices, mi210_node(),
+                                microbatches=args.microbatches)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not plans:
+        print("no feasible plan fits device memory; add devices",
+              file=sys.stderr)
+        return 1
+    rows = [
+        (
+            f"TP={p.parallel.tp} DP={p.parallel.dp} PP={p.parallel.pp}",
+            f"{p.tokens_per_second:,.0f}",
+            f"{p.memory_gb:.1f}",
+            format_pct(p.serialized_comm_fraction),
+        )
+        for p in plans[:args.top]
+    ]
+    print(f"{len(plans)} feasible plans for {args.devices} devices; "
+          f"top {len(rows)}:")
+    print(format_table(("plan", "tokens/s", "mem/device (GB)",
+                        "serialized comm"), rows))
+    return 0
+
+
+_COMMANDS = {
+    "analyze": _cmd_analyze,
+    "experiment": _cmd_experiment,
+    "zoo": _cmd_zoo,
+    "forecast": _cmd_forecast,
+    "plan": _cmd_plan,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output truncated by a downstream pipe (e.g. `| head`): fine.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

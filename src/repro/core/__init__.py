@@ -1,0 +1,38 @@
+"""Core analysis: the paper's primary contribution.
+
+Algorithmic Comp-vs-Comm analysis (Section 3), the empirical projection
+strategy (Section 4.2), hardware-evolution scenarios (Section 4.3.6), and
+the sweep/reporting machinery that regenerates the paper's figures.
+"""
+
+from repro.core.autotune import best_plan, enumerate_plans
+from repro.core.edge import amdahl_edge
+from repro.core.evolution import PAPER_SCENARIOS, HardwareScenario
+from repro.core.hyperparams import (
+    LayerType,
+    ModelConfig,
+    ParallelConfig,
+    Precision,
+    validate_model_parallel,
+)
+from repro.core.projection import fit_operator_models
+from repro.core.roi import overlap_roi_timing
+from repro.core.scaling import required_tp
+from repro.core.slack import slack_advantage
+
+__all__ = [
+    "HardwareScenario",
+    "LayerType",
+    "ModelConfig",
+    "PAPER_SCENARIOS",
+    "ParallelConfig",
+    "Precision",
+    "amdahl_edge",
+    "best_plan",
+    "enumerate_plans",
+    "fit_operator_models",
+    "overlap_roi_timing",
+    "required_tp",
+    "slack_advantage",
+    "validate_model_parallel",
+]

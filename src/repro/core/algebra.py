@@ -1,0 +1,49 @@
+"""Symbolic complexity terms used by the algorithmic analysis (Section 3).
+
+The paper reduces Comp-vs-Comm scaling to two closed-form ratios:
+
+* Amdahl's Law edge  ``O((H + SL) / TP)``   (Equation 6), and
+* Slack advantage    ``O(SL * B)``          (Equation 9).
+
+This module evaluates those asymptotic forms directly from hyperparameters,
+and provides the normalization helper behind Figure 7 (each model's ratio
+relative to BERT's).  The exact -- constant-factor-carrying -- versions live
+in :mod:`repro.core.edge` and :mod:`repro.core.slack`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+
+__all__ = [
+    "edge_complexity",
+    "slack_complexity",
+    "normalized_series",
+]
+
+
+def edge_complexity(model: ModelConfig, parallel: ParallelConfig) -> float:
+    """Asymptotic Amdahl's-Law-edge term ``(H + SL) / TP`` (Equation 6)."""
+    return (model.hidden + model.seq_len) / parallel.tp
+
+
+def slack_complexity(model: ModelConfig) -> float:
+    """Asymptotic slack-advantage term ``SL * B`` (Equation 9)."""
+    return float(model.seq_len * model.batch)
+
+
+def normalized_series(values: Sequence[float], baseline_index: int = 0
+                      ) -> List[float]:
+    """Normalize a series to the value at ``baseline_index`` (Figure 7).
+
+    Raises:
+        ValueError: if the series is empty or the baseline value is zero.
+    """
+    if not values:
+        raise ValueError("cannot normalize an empty series")
+    base = values[baseline_index]
+    if base == 0:
+        raise ValueError("baseline value is zero; cannot normalize")
+    return [v / base for v in values]

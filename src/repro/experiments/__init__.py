@@ -1,0 +1,5 @@
+"""Per-table/figure experiment harness (see DESIGN.md's experiment index)."""
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,93 @@
+"""Shared experiment-result plumbing for the per-figure modules.
+
+Every experiment module exposes ``run(...) -> ExperimentResult`` returning
+the rows/series the corresponding paper table or figure reports, plus a
+``main()`` that prints them.  Benchmarks and examples consume the same
+``run`` functions, so the numbers in EXPERIMENTS.md, the benches, and the
+examples always agree.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core import report
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A reproduced table/figure as rows of printable values.
+
+    Attributes:
+        experiment_id: Paper artifact id (e.g. ``"figure-10"``).
+        title: Human-readable description.
+        headers: Column names.
+        rows: Data rows (tuples matching ``headers``).
+        notes: Free-form annotations (paper-vs-measured commentary).
+    """
+
+    experiment_id: str
+    title: str
+    headers: Tuple[str, ...]
+    rows: Tuple[Tuple[object, ...], ...]
+    notes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("headers", "notes"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        if not isinstance(self.rows, tuple):
+            object.__setattr__(self, "rows", tuple(
+                tuple(row) for row in self.rows
+            ))
+
+    def to_text(self) -> str:
+        """Render the result as an aligned text block."""
+        lines = [f"== {self.experiment_id}: {self.title} ==",
+                 report.format_table(self.headers, self.rows)]
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def column(self, header: str) -> List[object]:
+        """All values of one column.
+
+        Raises:
+            KeyError: if the header is unknown.
+        """
+        try:
+            index = self.headers.index(header)
+        except ValueError:
+            raise KeyError(
+                f"no column {header!r}; have {list(self.headers)}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (JSON-serializable)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Render the result as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_csv(self) -> str:
+        """Render the result as CSV (header row + data rows)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()

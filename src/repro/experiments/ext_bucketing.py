@@ -1,0 +1,69 @@
+"""Gradient-bucketing extension: the DDP bucket-size tuning curve.
+
+Sweeps the gradient-coalescing bucket size for a data-parallel training
+iteration and reports iteration time, overlapped-communication time, and
+exposure -- locating the sweet spot between network underutilization
+(tiny buckets, the Section 4.3.5 saturation effect) and forfeited overlap
+(one giant bucket at the end of the backward pass).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.experiments.base import ExperimentResult
+from repro.hardware.cluster import ClusterSpec, mi210_node
+from repro.models.bucketing import bucket_gradients
+from repro.models.trace import training_trace
+from repro.sim.executor import execute_trace
+
+__all__ = ["run", "main"]
+
+_MODEL = ModelConfig(name="bucket-study", hidden=4096, seq_len=1024,
+                     batch=1, num_layers=6, num_heads=32)
+_PARALLEL = ParallelConfig(tp=4, dp=16)
+
+_BUCKETS_MB: Sequence[float] = (0.25, 1, 4, 32, 128, 100000)
+
+
+def run(cluster: Optional[ClusterSpec] = None,
+        buckets_mb: Sequence[float] = _BUCKETS_MB) -> ExperimentResult:
+    """Bucket-size sweep."""
+    cluster = cluster or mi210_node()
+    trace = training_trace(_MODEL, _PARALLEL)
+    rows = []
+    for mb in buckets_mb:
+        bucketed = bucket_gradients(trace, int(mb * (1 << 20)))
+        breakdown = execute_trace(bucketed, cluster).breakdown
+        label = "unbounded (1 bucket)" if mb >= 100000 else f"{mb:g} MB"
+        rows.append((
+            label,
+            len(bucketed.overlappable_comms()),
+            f"{breakdown.overlapped_comm_time * 1e3:.2f}",
+            f"{breakdown.exposed_comm_time * 1e3:.3f}",
+            f"{breakdown.iteration_time * 1e3:.2f}",
+        ))
+    return ExperimentResult(
+        experiment_id="extension-bucketing",
+        title=f"Gradient bucket-size tuning (H={_MODEL.hidden}, "
+              f"DP={_PARALLEL.dp})",
+        headers=("bucket size", "collectives", "DP comm (ms)",
+                 "exposed (ms)", "iteration (ms)"),
+        rows=tuple(rows),
+        notes=(
+            "tiny buckets pay per-message latency and bandwidth "
+            "underutilization; one giant bucket waits for the whole "
+            "backward pass and exposes its tail -- the classic DDP "
+            "tuning trade-off, priced by the paper's saturation and "
+            "overlap machinery",
+        ),
+    )
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Gradient-compression extension (a Section 5-class remedy).
+
+Runs the Figure 14 scenario-3 stress case -- data-parallel gradient
+communication over slow inter-node links with interference, on 4x
+flop-vs-bw hardware, where the paper shows DP communication is no longer
+hidden -- with and without gradient compression.  Compression converts
+the exposed communication back into hidden communication at the cost of
+encode/decode compute; on the fast intra-node fabric, where nothing is
+exposed, the same schemes only *add* time (an honest negative control).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.evolution import PAPER_SCENARIOS
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.experiments.base import ExperimentResult
+from repro.hardware.cluster import ClusterSpec, multi_node_cluster
+from repro.models.compression import (
+    ONE_BIT,
+    POWER_SGD_RANK4,
+    CompressionScheme,
+    compress_gradients,
+)
+from repro.models.trace import training_trace
+from repro.sim.executor import execute_trace
+
+__all__ = ["run", "main"]
+
+_MODEL = ModelConfig(name="compress-study", hidden=4096, seq_len=2048,
+                     batch=1, num_layers=4, num_heads=32)
+_PARALLEL = ParallelConfig(tp=16, dp=16)
+
+
+def run(
+    cluster: Optional[ClusterSpec] = None,
+    schemes: Sequence[CompressionScheme] = (ONE_BIT, POWER_SGD_RANK4),
+) -> ExperimentResult:
+    """Uncompressed vs compressed gradients on exposed-comm hardware."""
+    base = cluster or multi_node_cluster(interference_slowdown=2.0)
+    fourx = PAPER_SCENARIOS[2].apply(base)
+    rows = []
+    plain_trace = training_trace(_MODEL, _PARALLEL)
+    plain = execute_trace(plain_trace, fourx).breakdown
+    rows.append((
+        "uncompressed",
+        f"{plain.overlapped_comm_time * 1e3:.2f}",
+        f"{plain.exposed_comm_time * 1e3:.2f}",
+        f"{plain.iteration_time * 1e3:.2f}",
+        "1.000",
+    ))
+    for scheme in schemes:
+        trace = compress_gradients(plain_trace, scheme)
+        breakdown = execute_trace(trace, fourx).breakdown
+        rows.append((
+            scheme.name,
+            f"{breakdown.overlapped_comm_time * 1e3:.2f}",
+            f"{breakdown.exposed_comm_time * 1e3:.2f}",
+            f"{breakdown.iteration_time * 1e3:.2f}",
+            f"{plain.iteration_time / breakdown.iteration_time:.3f}",
+        ))
+    return ExperimentResult(
+        experiment_id="extension-compression",
+        title="Gradient compression on 4x flop-vs-bw hardware "
+              f"(H={_MODEL.hidden}, TP={_PARALLEL.tp}, DP={_PARALLEL.dp})",
+        headers=("scheme", "DP comm (ms)", "exposed comm (ms)",
+                 "iteration (ms)", "speedup"),
+        rows=tuple(rows),
+        notes=(
+            "compression shrinks the gradient all-reduces that hardware "
+            "evolution exposes, spending compute (encode/decode sweeps) "
+            "to buy back communication",
+        ),
+    )
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Energy extension: the Comp-vs-Comm question in joules.
+
+Time is one budget; energy is the other.  This experiment prices the
+Figure 10 highlighted configurations in joules per iteration and reports
+communication's (and all data movement's) share -- on today's
+coefficients and with the per-byte costs that a disaggregated,
+longer-reach future fabric would carry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.energy import EnergyCoefficients, trace_energy
+from repro.core.hyperparams import ParallelConfig
+from repro.experiments import sweeps
+from repro.experiments.base import ExperimentResult
+from repro.models.trace import layer_trace
+
+__all__ = ["run", "main"]
+
+#: Optical/longer-reach future links: ~4x today's per-byte energy.
+_FUTURE_LINK = EnergyCoefficients(pj_per_link_byte=1000.0)
+
+
+def run(_: Optional[object] = None) -> ExperimentResult:
+    """Energy breakdown of the highlighted configurations."""
+    rows = []
+    for line in sweeps.SERIALIZED_LINES:
+        tp = dict(sweeps.HIGHLIGHTED_CONFIGS)[line.hidden]
+        model = sweeps.serialized_model(line.hidden, line.seq_len, tp)
+        trace = layer_trace(model, ParallelConfig(tp=tp, dp=2))
+        today = trace_energy(trace)
+        future = trace_energy(trace, _FUTURE_LINK)
+        rows.append((
+            line.label,
+            tp,
+            f"{today.total_j:.2f}",
+            f"{today.communication_fraction:.3f}",
+            f"{today.data_movement_fraction:.3f}",
+            f"{future.communication_fraction:.3f}",
+        ))
+    return ExperimentResult(
+        experiment_id="extension-energy",
+        title="Energy per layer-iteration: communication's share (J)",
+        headers=("line", "TP", "total (J)", "comm frac (today)",
+                 "data-movement frac", "comm frac (4x link pJ/B)"),
+        rows=tuple(rows),
+        notes=(
+            "Section 5 weighs remedies by power cost; per-byte energy "
+            "dwarfs per-FLOP energy, so communication's energy share "
+            "exceeds its time share and grows with link reach",
+        ),
+    )
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

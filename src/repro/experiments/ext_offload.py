@@ -1,0 +1,64 @@
+"""Host-memory offload extension (Section 6.1.3, "Large System Memory").
+
+Quantifies the trade the paper discusses: staging optimizer state in CPU
+memory frees accelerator capacity (fewer devices / larger models per
+device) but adds host-link traffic that must hide just-in-time under
+device compute.  The sweep varies batch size -- small batches shrink the
+compute budget that hides host transfers, exposing them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.experiments.base import ExperimentResult
+from repro.hardware.cluster import ClusterSpec, mi210_node
+from repro.hardware.hostlink import PCIE_GEN4_X16, PCIE_GEN5_X16
+from repro.models.offload import estimate_offload
+
+__all__ = ["run", "main"]
+
+
+def run(cluster: Optional[ClusterSpec] = None,
+        batches: Sequence[int] = (1, 4, 16)) -> ExperimentResult:
+    """CPU-offload cost/benefit across batch sizes and host links."""
+    cluster = cluster or mi210_node()
+    rows = []
+    for batch in batches:
+        model = ModelConfig(name="offload-study", hidden=8192,
+                            seq_len=2048, batch=batch, num_layers=4,
+                            num_heads=64)
+        parallel = ParallelConfig(tp=8, dp=1)
+        for link in (PCIE_GEN4_X16, PCIE_GEN5_X16):
+            estimate = estimate_offload(model, parallel, cluster,
+                                        host_link=link)
+            rows.append((
+                batch,
+                link.name,
+                f"{estimate.memory_saved_fraction:.2f}",
+                f"{estimate.host_traffic_time * 1e3:.2f}",
+                f"{estimate.slowdown:.3f}",
+                "yes" if estimate.host_work_hidden else "no (exposed)",
+            ))
+    return ExperimentResult(
+        experiment_id="extension-offload",
+        title="CPU optimizer-state offload (Section 6.1.3)",
+        headers=("B", "host link", "device mem saved", "host traffic (ms)",
+                 "slowdown", "host work hidden"),
+        rows=tuple(rows),
+        notes=(
+            "offload trades device memory for host-link traffic; small "
+            "batches (little compute to hide under) and slow links expose "
+            "it on the critical path -- the just-in-time staging "
+            "challenge the paper describes",
+        ),
+    )
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

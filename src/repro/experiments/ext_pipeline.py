@@ -1,0 +1,63 @@
+"""Section 6.1.2 extension: pipeline-parallelism overheads.
+
+Quantifies why the paper sets pipeline parallelism aside: bubbles demand
+many micro-batches (hence large batches, which the memory squeeze rules
+out), and stage-boundary transfers add critical-path communication.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.experiments.base import ExperimentResult
+from repro.hardware.cluster import ClusterSpec, multi_node_cluster
+from repro.models.pipeline import estimate_pipeline
+
+__all__ = ["run", "main", "PIPELINE_MODEL"]
+
+PIPELINE_MODEL = ModelConfig(name="pp-model", hidden=8192, seq_len=2048,
+                             batch=8, num_layers=32, num_heads=64)
+
+
+def run(
+    cluster: Optional[ClusterSpec] = None,
+    pp_degrees: Sequence[int] = (2, 4, 8),
+    microbatch_counts: Sequence[int] = (1, 4, 8),
+) -> ExperimentResult:
+    """Bubble and P2P overheads across PP degrees and micro-batching."""
+    cluster = cluster or multi_node_cluster()
+    rows = []
+    for pp in pp_degrees:
+        for microbatches in microbatch_counts:
+            parallel = ParallelConfig(tp=8, dp=1, pp=pp)
+            estimate = estimate_pipeline(PIPELINE_MODEL, parallel, cluster,
+                                         microbatches=microbatches)
+            rows.append((
+                pp,
+                microbatches,
+                f"{estimate.bubble_fraction_of_iteration:.3f}",
+                f"{estimate.comm_fraction:.4f}",
+                f"{estimate.iteration_time * 1e3:.1f}",
+            ))
+    return ExperimentResult(
+        experiment_id="extension-pipeline",
+        title="Pipeline parallelism: bubbles and P2P communication "
+              "(Section 6.1.2)",
+        headers=("PP", "microbatches", "bubble frac", "P2P comm frac",
+                 "iteration (ms)"),
+        rows=tuple(rows),
+        notes=(
+            "bubbles shrink only with many micro-batches, which require "
+            "large batch sizes -- the opposite of the memory-driven trend "
+            "toward B = 1",
+        ),
+    )
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""ZeRO extension: memory reduction vs communication cost (Section 6.1.3).
+
+Compares plain data parallelism against ZeRO stages 1-3 for a GPT-3-scale
+layer: per-device memory footprint shrinks up to ~N-fold while the DP
+communication volume (and whether it still hides under compute) shifts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.experiments.base import ExperimentResult
+from repro.hardware.cluster import ClusterSpec, mi210_node
+from repro.models import memory, zero
+from repro.models.trace import training_trace
+from repro.sim.executor import execute_trace
+
+__all__ = ["run", "main", "ZERO_MODEL"]
+
+ZERO_MODEL = ModelConfig(name="zero-study", hidden=8192, seq_len=2048,
+                         batch=1, num_layers=4, num_heads=64)
+
+
+def run(cluster: Optional[ClusterSpec] = None,
+        model: ModelConfig = ZERO_MODEL,
+        tp: int = 8, dp: int = 16) -> ExperimentResult:
+    """Plain DP vs ZeRO stages: memory and communication trade-off."""
+    cluster = cluster or mi210_node()
+    parallel = ParallelConfig(tp=tp, dp=dp)
+    rows = []
+
+    plain = execute_trace(training_trace(model, parallel), cluster).breakdown
+    plain_mem = memory.memory_footprint(model, parallel, zero_stage=0)
+    rows.append((
+        "plain DP (all-reduce)",
+        f"{plain_mem.total_gb:.2f}",
+        f"{plain.overlapped_comm_time * 1e3:.2f}",
+        f"{plain.exposed_comm_time * 1e3:.2f}",
+        f"{plain.iteration_time * 1e3:.2f}",
+    ))
+    for stage in (1, 2, 3):
+        trace = zero.zero_training_trace(model, parallel, stage)
+        breakdown = execute_trace(trace, cluster).breakdown
+        footprint = memory.memory_footprint(model, parallel,
+                                            zero_stage=stage)
+        rows.append((
+            f"ZeRO stage {stage}",
+            f"{footprint.total_gb:.2f}",
+            f"{breakdown.overlapped_comm_time * 1e3:.2f}",
+            f"{breakdown.exposed_comm_time * 1e3:.2f}",
+            f"{breakdown.iteration_time * 1e3:.2f}",
+        ))
+    return ExperimentResult(
+        experiment_id="extension-zero",
+        title=f"Plain DP vs ZeRO (TP={tp}, DP={dp}): memory vs comm",
+        headers=("setup", "per-device memory (GB)", "DP comm (ms)",
+                 "exposed comm (ms)", "iteration (ms)"),
+        rows=tuple(rows),
+        notes=(
+            "stages 1/2 keep plain DP's communication volume while "
+            "shrinking optimizer/gradient memory; stage 3 adds the "
+            "backward parameter re-gather (1.5x volume) for the largest "
+            "memory reduction",
+        ),
+    )
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

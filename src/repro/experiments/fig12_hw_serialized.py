@@ -1,0 +1,62 @@
+"""Figure 12: hardware evolution's impact on serialized communication.
+
+Re-runs the Figure 10 highlighted configurations under the historical
+flop-vs-bw scaling scenarios (compute FLOPS outpacing network bandwidth
+by 2x and 4x per generation): the serialized-communication range grows
+from ~20-50% to ~30-65% and ~40-75% of training time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.evolution import PAPER_SCENARIOS, HardwareScenario
+from repro.experiments import sweeps
+from repro.experiments.base import ExperimentResult
+from repro.hardware.cluster import ClusterSpec, mi210_node
+
+__all__ = ["run", "main"]
+
+
+def run(
+    cluster: Optional[ClusterSpec] = None,
+    scenarios: Sequence[HardwareScenario] = PAPER_SCENARIOS,
+) -> ExperimentResult:
+    """Reproduce the Figure 12 scenario sweep."""
+    cluster = cluster or mi210_node()
+    rows = []
+    for line in sweeps.SERIALIZED_LINES:
+        for hidden, tp in sweeps.HIGHLIGHTED_CONFIGS:
+            if hidden != line.hidden:
+                continue
+            for scenario in scenarios:
+                fraction = sweeps.serialized_fraction(
+                    line.hidden, line.seq_len, tp, cluster,
+                    scenario=scenario,
+                )
+                rows.append((
+                    line.label,
+                    tp,
+                    scenario.name,
+                    f"{scenario.flop_vs_bw:g}x",
+                    f"{fraction:.3f}",
+                ))
+    return ExperimentResult(
+        experiment_id="figure-12",
+        title="Serialized comm fraction under hardware evolution",
+        headers=("line", "TP", "scenario", "flop-vs-bw",
+                 "serialized comm fraction"),
+        rows=tuple(rows),
+        notes=(
+            "paper: 20-50% (1x) -> 30-65% (2x) -> 40-75% (4x) across the "
+            "highlighted configurations",
+        ),
+    )
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

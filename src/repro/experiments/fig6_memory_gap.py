@@ -1,0 +1,47 @@
+"""Figure 6: model memory demand vs device memory capacity trends.
+
+Models' memory demand (the ``H * SL`` proxy and raw parameter counts)
+grows orders of magnitude faster than per-device memory capacity; the
+widening gap is what forces small batch sizes and large TP degrees
+(Section 3.5).
+"""
+
+from __future__ import annotations
+
+from repro.core import scaling
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["run", "main"]
+
+
+def run() -> ExperimentResult:
+    """Reproduce the Figure 6 demand-vs-capacity series."""
+    rows = []
+    for row in scaling.memory_gap_series():
+        rows.append((
+            row.model,
+            row.year,
+            f"{row.demand_norm:.1f}x",
+            f"{row.params_norm:.1f}x",
+            f"{row.capacity_norm:.1f}x",
+            f"{row.gap:.1f}x",
+        ))
+    return ExperimentResult(
+        experiment_id="figure-6",
+        title="Model memory demand vs device capacity (normalized to BERT)",
+        headers=("model", "year", "H*SL demand", "params", "device capacity",
+                 "demand/capacity gap"),
+        rows=tuple(rows),
+        notes=(
+            "paper: models scale ~1000x while device memory scales ~5x "
+            "over the same period",
+        ),
+    )
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Figure 7: algorithmic scaling of compute's slack and edge.
+
+Plots each zoo model's slack advantage (``SL * B``) and Amdahl's Law edge
+(``(H + SL) / TP``) normalized to BERT's, under historically faithful
+batch sizes and estimated required TP degrees.  The paper reads off a
+~75% slack drop (driven by B shrinking to 1) and a ~80% edge drop
+(driven by TP growth outpacing ``H + SL``).
+"""
+
+from __future__ import annotations
+
+from repro.core import edge, scaling, slack
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["run", "main"]
+
+
+def run(max_tp: int = 512) -> ExperimentResult:
+    """Reproduce the Figure 7 normalized slack and edge series."""
+    setups = scaling.zoo_training_setups(max_tp=max_tp)
+    models = [m for m, _ in setups]
+    parallels = [p for _, p in setups]
+    slack_series = slack.slack_series(models, parallels)
+    edge_series = edge.edge_series(models, parallels)
+    rows = []
+    for (model, parallel), s, e in zip(setups, slack_series, edge_series):
+        rows.append((
+            model.name,
+            model.batch,
+            parallel.tp,
+            f"{s:.3f}",
+            f"{e:.3f}",
+        ))
+    final_slack_drop = 1.0 - slack_series[-1]
+    final_edge_drop = 1.0 - edge_series[-1]
+    return ExperimentResult(
+        experiment_id="figure-7",
+        title="Algorithmic slack and edge, normalized to BERT",
+        headers=("model", "B", "TP", "slack (SL*B, norm)",
+                 "edge ((H+SL)/TP, norm)"),
+        rows=tuple(rows),
+        notes=(
+            f"slack drop at newest model: {final_slack_drop:.0%} "
+            "(paper: ~75%)",
+            f"edge drop at newest model: {final_edge_drop:.0%} "
+            "(paper: ~80%)",
+        ),
+    )
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

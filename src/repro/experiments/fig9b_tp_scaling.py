@@ -1,0 +1,50 @@
+"""Figure 9(b): required tensor-parallel-degree scaling with model size.
+
+Starting from the Megatron-LM BERT 3.9B anchor (the first publicly known
+TP-trained Transformer, TP = 8), a model's required TP scales with its
+size ratio ``p`` divided by the contemporaneous memory-capacity scaling
+``s``.  The paper finds ``p/s`` of 40-60x for the largest models --
+a required TP of roughly 250-550.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import scaling
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["run", "main"]
+
+
+def run(max_tp: Optional[int] = None) -> ExperimentResult:
+    """Reproduce the Figure 9(b) TP-scaling series."""
+    rows = []
+    for row in scaling.tp_scaling_series(max_tp=max_tp):
+        rows.append((
+            row.model,
+            row.year,
+            f"{row.p:.1f}x",
+            f"{row.s:.2f}x",
+            f"{row.p_over_s:.1f}x",
+            row.required_tp,
+        ))
+    return ExperimentResult(
+        experiment_id="figure-9b",
+        title="TP scaling (p/s) since Megatron-LM BERT (base TP = 8)",
+        headers=("model", "year", "size ratio p", "capacity ratio s",
+                 "p/s", "required TP (pow2)"),
+        rows=tuple(rows),
+        notes=(
+            "paper: p/s of ~40-60x for the largest models -> required TP "
+            "~250-550",
+        ),
+    )
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

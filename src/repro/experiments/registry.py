@@ -1,0 +1,120 @@
+"""Registry mapping paper artifacts to their experiment runners.
+
+``python -m repro.experiments.registry`` prints every reproduced table
+and figure; :func:`get_experiment` is the lookup the benchmark harness
+uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ext_autotune,
+    ext_baseline,
+    ext_bucketing,
+    ext_compression,
+    ext_contention,
+    ext_decode,
+    ext_decomposition,
+    ext_energy,
+    ext_forecast,
+    ext_hwtrends,
+    ext_inference,
+    ext_moe,
+    ext_multinode,
+    ext_offload,
+    ext_pipeline,
+    ext_precision,
+    ext_projection_validation,
+    ext_roofline,
+    ext_seqparallel,
+    ext_techniques,
+    ext_topology,
+    ext_validation,
+    ext_zero,
+    fig6_memory_gap,
+    fig7_algorithmic,
+    fig9b_tp_scaling,
+    fig10_serialized,
+    fig11_overlap,
+    fig12_hw_serialized,
+    fig13_hw_overlap,
+    fig14_casestudy,
+    fig15_opmodel,
+    speedup,
+    table2_zoo,
+    table3_sweep,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_all"]
+
+#: Paper artifact id -> zero-argument runner.
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "table-2": table2_zoo.run,
+    "table-3": table3_sweep.run,
+    "figure-6": fig6_memory_gap.run,
+    "figure-7": fig7_algorithmic.run,
+    "figure-9b": fig9b_tp_scaling.run,
+    "figure-10": fig10_serialized.run,
+    "figure-11": fig11_overlap.run,
+    "figure-12": fig12_hw_serialized.run,
+    "figure-13": fig13_hw_overlap.run,
+    "figure-14": fig14_casestudy.run,
+    "figure-15": fig15_opmodel.run,
+    "speedup-4.3.8": speedup.run,
+    "ablation-precision": ext_precision.run,
+    "ablation-techniques": ext_techniques.run,
+    "extension-moe": ext_moe.run,
+    "extension-inference": ext_inference.run,
+    "extension-pipeline": ext_pipeline.run,
+    "extension-forecast": ext_forecast.run,
+    "extension-zero": ext_zero.run,
+    "extension-decomposition": ext_decomposition.run,
+    "extension-offload": ext_offload.run,
+    "extension-decode": ext_decode.run,
+    "extension-autotune": ext_autotune.run,
+    "ablation-baseline-size": ext_baseline.run,
+    "extension-topology": ext_topology.run,
+    "extension-seqparallel": ext_seqparallel.run,
+    "extension-hwtrends": ext_hwtrends.run,
+    "extension-energy": ext_energy.run,
+    "extension-compression": ext_compression.run,
+    "extension-bucketing": ext_bucketing.run,
+    "extension-multinode": ext_multinode.run,
+    "extension-contention": ext_contention.run,
+    "validation-laws": ext_validation.run,
+    "validation-projection": ext_projection_validation.run,
+    "validation-roofline": ext_roofline.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
+    """Look up an experiment runner by artifact id.
+
+    Raises:
+        KeyError: with the known ids when the id is unknown.
+    """
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_all() -> List[ExperimentResult]:
+    """Run every registered experiment, in registry order."""
+    return [runner() for runner in EXPERIMENTS.values()]
+
+
+def main() -> None:
+    for result in run_all():
+        print(result.to_text())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Table 2: hyperparameters of published NLP Transformer models."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.models import zoo
+
+__all__ = ["run", "main"]
+
+
+def run() -> ExperimentResult:
+    """Reproduce Table 2 with a computed-vs-reported size cross-check."""
+    rows = []
+    for entry in zoo.zoo_table():
+        rows.append((
+            entry["model"],
+            entry["year"],
+            entry["layers"],
+            entry["hidden"],
+            entry["heads"],
+            entry["seq_len"],
+            entry["ffn_dim"],
+            entry["type"],
+            f"{entry['reported_params_b']:.2f}",
+            f"{entry['computed_params_b']:.2f}",
+        ))
+    return ExperimentResult(
+        experiment_id="table-2",
+        title="NLP model hyperparameters (reported vs computed sizes, B)",
+        headers=("model", "year", "layers", "H", "heads", "SL", "FC dim",
+                 "type", "size(B) reported", "size(B) computed"),
+        rows=tuple(rows),
+        notes=(
+            "computed sizes count the layer stack only; T5/PaLM use "
+            "non-standard blocks, so analyses use reported sizes",
+        ),
+    )
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

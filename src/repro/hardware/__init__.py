@@ -1,0 +1,21 @@
+"""Hardware substrate: device specs, operator timing, networks, clusters."""
+
+from repro.hardware.cluster import ClusterSpec, mi210_node, multi_node_cluster
+from repro.hardware.collectives import AllReduceAlgorithm
+from repro.hardware.gemm import GemmShape, GemmTimingModel
+from repro.hardware.network import Link
+from repro.hardware.specs import DEVICE_CATALOG, MI210, DeviceSpec, get_device
+
+__all__ = [
+    "AllReduceAlgorithm",
+    "ClusterSpec",
+    "DEVICE_CATALOG",
+    "DeviceSpec",
+    "GemmShape",
+    "GemmTimingModel",
+    "Link",
+    "MI210",
+    "get_device",
+    "mi210_node",
+    "multi_node_cluster",
+]

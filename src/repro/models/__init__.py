@@ -1,0 +1,25 @@
+"""Transformer model substrate: zoo, operator graphs, sharding, memory,
+and the parallelism extensions (MoE, pipeline, ZeRO, sequence parallel,
+offload, decode inference)."""
+
+from repro.models.graph import (
+    CollectiveKind,
+    CommGroup,
+    CommOp,
+    ElementwiseOp,
+    GemmOp,
+    Phase,
+    SubLayer,
+    Trace,
+)
+
+__all__ = [
+    "CollectiveKind",
+    "CommGroup",
+    "CommOp",
+    "ElementwiseOp",
+    "GemmOp",
+    "Phase",
+    "SubLayer",
+    "Trace",
+]

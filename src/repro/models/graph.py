@@ -1,0 +1,224 @@
+"""Operator-graph datatypes for Transformer training iterations.
+
+A training iteration is represented as an ordered trace of operators --
+GEMMs, fused element-wise kernels, and communication collectives -- the
+same granularity the paper profiles with rocProf and models with its
+operator-level runtime models (Section 4.2.2).
+
+Ordering semantics (consumed by :mod:`repro.sim.executor`):
+
+* compute ops execute in trace order on the device's compute stream;
+* a *serialized* communication op (``overlappable=False``, e.g. a TP
+  activation all-reduce) blocks the compute stream until it completes;
+* an *overlappable* communication op (e.g. a DP weight-gradient
+  all-reduce) is issued to the communication stream once the preceding
+  compute op finishes, and runs concurrently with later compute.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.hardware.gemm import GemmShape
+
+__all__ = [
+    "Phase",
+    "SubLayer",
+    "CommGroup",
+    "CollectiveKind",
+    "GemmOp",
+    "ElementwiseOp",
+    "CommOp",
+    "Op",
+    "Trace",
+]
+
+
+class Phase(enum.Enum):
+    """Training phase an operator belongs to."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+class SubLayer(enum.Enum):
+    """Transformer sub-layer an operator belongs to (Section 2.1)."""
+
+    ATTENTION = "attention"
+    FC = "fc"
+    MOE = "moe"
+    OTHER = "other"
+
+
+class CommGroup(enum.Enum):
+    """Process group a collective runs over."""
+
+    TP = "tp"
+    DP = "dp"
+    EP = "ep"
+    PP = "pp"
+
+
+class CollectiveKind(enum.Enum):
+    """Collective operation kinds (Section 2.3)."""
+
+    ALL_REDUCE = "all-reduce"
+    REDUCE_SCATTER = "reduce-scatter"
+    ALL_GATHER = "all-gather"
+    ALL_TO_ALL = "all-to-all"
+    P2P = "p2p"
+
+
+@dataclass(frozen=True)
+class GemmOp:
+    """A (batched) matrix multiplication on the compute stream.
+
+    ``has_weights`` distinguishes weight-bearing projections (QKV, output
+    projection, FC1/FC2) from the activation-activation attention GEMMs
+    (scores, context), which carry no parameters and therefore produce no
+    weight gradients -- the distinction the slack-advantage ROI relies on
+    (Section 3.4 considers WG/IG GEMMs of weight sub-layers).
+    """
+
+    name: str
+    shape: GemmShape
+    phase: Phase
+    sublayer: SubLayer
+    layer: int = 0
+    has_weights: bool = True
+
+    @property
+    def flops(self) -> int:
+        return self.shape.flops
+
+    @property
+    def is_compute(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ElementwiseOp:
+    """A fused element-wise / reduction kernel (LayerNorm, softmax, ...)."""
+
+    name: str
+    elements: int
+    phase: Phase
+    sublayer: SubLayer
+    rw_factor: float = 3.0
+    kind: str = "elementwise"
+    layer: int = 0
+
+    def __post_init__(self) -> None:
+        if self.elements <= 0:
+            raise ValueError("elements must be positive")
+
+    @property
+    def is_compute(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class CommOp:
+    """A communication collective.
+
+    Attributes:
+        nbytes: Per-device buffer size in bytes.
+        group: Process group (determines group size via ParallelConfig).
+        overlappable: False for critical-path (serialized) communication,
+            True for communication that may overlap independent compute.
+    """
+
+    name: str
+    collective: CollectiveKind
+    nbytes: int
+    group: CommGroup
+    phase: Phase
+    sublayer: SubLayer
+    overlappable: bool
+    layer: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+
+    @property
+    def is_compute(self) -> bool:
+        return False
+
+
+Op = Union[GemmOp, ElementwiseOp, CommOp]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered operator trace for one training iteration.
+
+    Attributes:
+        model: Model the trace was generated from.
+        parallel: Distributed setup the trace was generated for.
+        ops: Operators in program order (see module docstring for the
+            stream semantics).
+    """
+
+    model: ModelConfig
+    parallel: ParallelConfig
+    ops: Tuple[Op, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.ops, tuple):
+            object.__setattr__(self, "ops", tuple(self.ops))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[Op]:
+        return iter(self.ops)
+
+    def gemms(self) -> List[GemmOp]:
+        return [op for op in self.ops if isinstance(op, GemmOp)]
+
+    def elementwise(self) -> List[ElementwiseOp]:
+        return [op for op in self.ops if isinstance(op, ElementwiseOp)]
+
+    def comms(self) -> List[CommOp]:
+        return [op for op in self.ops if isinstance(op, CommOp)]
+
+    def serialized_comms(self) -> List[CommOp]:
+        """Critical-path collectives (TP activation all-reduces etc.)."""
+        return [op for op in self.comms() if not op.overlappable]
+
+    def overlappable_comms(self) -> List[CommOp]:
+        """Collectives that may hide under compute (DP gradient ARs)."""
+        return [op for op in self.comms() if op.overlappable]
+
+    def total_gemm_flops(self) -> int:
+        return sum(op.flops for op in self.gemms())
+
+    def total_comm_bytes(self, overlappable: Optional[bool] = None) -> int:
+        """Total collective bytes; filter by overlappability if given."""
+        ops = self.comms()
+        if overlappable is not None:
+            ops = [op for op in ops if op.overlappable == overlappable]
+        return sum(op.nbytes for op in ops)
+
+    def group_size(self, group: CommGroup) -> int:
+        """Device count of a process group under this trace's setup."""
+        return {
+            CommGroup.TP: self.parallel.tp,
+            CommGroup.DP: self.parallel.dp,
+            CommGroup.EP: self.parallel.ep,
+            CommGroup.PP: self.parallel.pp,
+        }[group]
+
+    def filtered(self, phase: Optional[Phase] = None,
+                 sublayer: Optional[SubLayer] = None) -> "Trace":
+        """Sub-trace restricted to a phase and/or sub-layer (ROI support)."""
+        ops = [
+            op for op in self.ops
+            if (phase is None or op.phase == phase)
+            and (sublayer is None or op.sublayer == sublayer)
+        ]
+        return Trace(model=self.model, parallel=self.parallel, ops=tuple(ops))

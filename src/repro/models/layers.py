@@ -1,0 +1,343 @@
+"""Per-sub-layer operator builders for a tensor-parallel Transformer layer.
+
+Enumerates every GEMM, fused element-wise kernel, and collective of one
+encoder/decoder layer's forward and backward passes with explicit shapes
+(Figure 4), under Megatron-style tensor parallelism and optional data
+parallelism:
+
+Forward, attention sub-layer:
+    LayerNorm -> QKV projection (column parallel) -> attention scores ->
+    softmax -> attention context -> output projection (row parallel) ->
+    **TP all-reduce of activations** -> residual add.
+Forward, FC sub-layer:
+    LayerNorm -> FC1 (column parallel) -> GeLU -> FC2 (row parallel) ->
+    **TP all-reduce of activations** -> residual add.
+
+The backward pass mirrors each forward GEMM with an input-gradient (IG)
+and a weight-gradient (WG) GEMM of equal FLOPs, adds the two conjugate TP
+all-reduces of errors, and -- under data parallelism -- emits one
+*overlappable* DP all-reduce of each sub-layer's weight gradients as soon
+as its WG GEMMs complete (Section 2.3.2).
+
+The test suite cross-checks these shape-accurate counts against the
+paper-equation forms in :mod:`repro.core.flops`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.hardware.gemm import GemmShape
+from repro.models import sharding
+from repro.models.graph import (
+    CollectiveKind,
+    CommGroup,
+    CommOp,
+    ElementwiseOp,
+    GemmOp,
+    Op,
+    Phase,
+    SubLayer,
+)
+
+__all__ = [
+    "attention_forward_ops",
+    "fc_forward_ops",
+    "layer_forward_ops",
+    "attention_backward_ops",
+    "fc_backward_ops",
+    "layer_backward_ops",
+    "backward_gemms_for",
+    "activation_allreduce_bytes",
+    "attention_weight_bytes",
+    "fc_weight_bytes",
+]
+
+
+def activation_allreduce_bytes(model: ModelConfig) -> int:
+    """Bytes of one TP activation/error all-reduce: ``prec * B * SL * H``.
+
+    Matches Equation 5 (per all-reduce).
+    """
+    return model.precision.bytes * model.batch * model.seq_len * model.hidden
+
+
+def attention_weight_bytes(model: ModelConfig, parallel: ParallelConfig) -> int:
+    """Per-device attention weight-gradient bytes (QKV + output proj)."""
+    params = 4 * model.hidden * model.hidden // parallel.tp
+    return model.precision.bytes * params
+
+
+def fc_weight_bytes(model: ModelConfig, parallel: ParallelConfig) -> int:
+    """Per-device FC weight-gradient bytes (FC1 + FC2) -- Equation 8."""
+    params = 2 * model.hidden * model.ffn_dim // parallel.tp
+    return model.precision.bytes * params
+
+
+def _tp_allreduce(name: str, model: ModelConfig, phase: Phase,
+                  sublayer: SubLayer, layer: int) -> CommOp:
+    return CommOp(
+        name=name,
+        collective=CollectiveKind.ALL_REDUCE,
+        nbytes=activation_allreduce_bytes(model),
+        group=CommGroup.TP,
+        phase=phase,
+        sublayer=sublayer,
+        overlappable=False,
+        layer=layer,
+    )
+
+
+def _ln(name: str, model: ModelConfig, phase: Phase, sublayer: SubLayer,
+        layer: int) -> ElementwiseOp:
+    return ElementwiseOp(
+        name=name,
+        elements=model.batch * model.seq_len * model.hidden,
+        phase=phase,
+        sublayer=sublayer,
+        rw_factor=3.0,
+        kind="layernorm",
+        layer=layer,
+    )
+
+
+def _residual(name: str, model: ModelConfig, phase: Phase,
+              sublayer: SubLayer, layer: int) -> ElementwiseOp:
+    return ElementwiseOp(
+        name=name,
+        elements=model.batch * model.seq_len * model.hidden,
+        phase=phase,
+        sublayer=sublayer,
+        rw_factor=3.0,
+        kind="residual",
+        layer=layer,
+    )
+
+
+def attention_forward_ops(model: ModelConfig, parallel: ParallelConfig,
+                          layer: int = 0) -> List[Op]:
+    """Forward operators of the attention sub-layer, in program order."""
+    tokens = model.batch * model.seq_len
+    heads = sharding.sharded_heads(model, parallel)
+    sl = model.seq_len
+    ops: List[Op] = [
+        _ln("attn.ln", model, Phase.FORWARD, SubLayer.ATTENTION, layer),
+        GemmOp(
+            name="attn.qkv",
+            shape=GemmShape(m=tokens, k=model.hidden,
+                            n=sharding.sharded_qkv_out(model, parallel)),
+            phase=Phase.FORWARD,
+            sublayer=SubLayer.ATTENTION,
+            layer=layer,
+        ),
+        GemmOp(
+            name="attn.scores",
+            shape=GemmShape(m=sl, n=sl, k=model.head_dim,
+                            batch=model.batch * heads),
+            phase=Phase.FORWARD,
+            sublayer=SubLayer.ATTENTION,
+            layer=layer,
+            has_weights=False,
+        ),
+        ElementwiseOp(
+            name="attn.softmax",
+            elements=model.batch * heads * sl * sl,
+            phase=Phase.FORWARD,
+            sublayer=SubLayer.ATTENTION,
+            rw_factor=3.0,
+            kind="softmax",
+            layer=layer,
+        ),
+        GemmOp(
+            name="attn.context",
+            shape=GemmShape(m=sl, n=model.head_dim, k=sl,
+                            batch=model.batch * heads),
+            phase=Phase.FORWARD,
+            sublayer=SubLayer.ATTENTION,
+            layer=layer,
+            has_weights=False,
+        ),
+        GemmOp(
+            name="attn.out_proj",
+            shape=GemmShape(
+                m=tokens,
+                k=sharding.shard_dim(model.hidden, parallel.tp, "hidden"),
+                n=model.hidden,
+            ),
+            phase=Phase.FORWARD,
+            sublayer=SubLayer.ATTENTION,
+            layer=layer,
+        ),
+    ]
+    if parallel.uses_tensor_parallelism:
+        ops.append(_tp_allreduce("attn.ar_fwd", model, Phase.FORWARD,
+                                 SubLayer.ATTENTION, layer))
+    ops.append(_residual("attn.residual", model, Phase.FORWARD,
+                         SubLayer.ATTENTION, layer))
+    return ops
+
+
+def fc_forward_ops(model: ModelConfig, parallel: ParallelConfig,
+                   layer: int = 0) -> List[Op]:
+    """Forward operators of the FC (feed-forward) sub-layer."""
+    tokens = model.batch * model.seq_len
+    ffn = sharding.sharded_ffn(model, parallel)
+    ops: List[Op] = [
+        _ln("fc.ln", model, Phase.FORWARD, SubLayer.FC, layer),
+        GemmOp(
+            name="fc.fc1",
+            shape=GemmShape(m=tokens, k=model.hidden, n=ffn),
+            phase=Phase.FORWARD,
+            sublayer=SubLayer.FC,
+            layer=layer,
+        ),
+        ElementwiseOp(
+            name="fc.gelu",
+            elements=tokens * ffn,
+            phase=Phase.FORWARD,
+            sublayer=SubLayer.FC,
+            rw_factor=2.0,
+            kind="gelu",
+            layer=layer,
+        ),
+        GemmOp(
+            name="fc.fc2",
+            shape=GemmShape(m=tokens, k=ffn, n=model.hidden),
+            phase=Phase.FORWARD,
+            sublayer=SubLayer.FC,
+            layer=layer,
+        ),
+    ]
+    if parallel.uses_tensor_parallelism:
+        ops.append(_tp_allreduce("fc.ar_fwd", model, Phase.FORWARD,
+                                 SubLayer.FC, layer))
+    ops.append(_residual("fc.residual", model, Phase.FORWARD, SubLayer.FC,
+                         layer))
+    return ops
+
+
+def layer_forward_ops(model: ModelConfig, parallel: ParallelConfig,
+                      layer: int = 0) -> List[Op]:
+    """All forward operators of one Transformer layer."""
+    return (attention_forward_ops(model, parallel, layer)
+            + fc_forward_ops(model, parallel, layer))
+
+
+def backward_gemms_for(op: GemmOp) -> List[GemmOp]:
+    """The two backward GEMMs spawned by a forward GEMM.
+
+    For forward ``C[m,n] = A[m,k] @ W[k,n]``:
+
+    * input gradient  ``dA[m,k] = dC[m,n] @ W.T[n,k]``
+    * weight gradient ``dW[k,n] = A.T[k,m] @ dC[m,n]``
+
+    Both cost exactly the forward GEMM's FLOPs, giving the paper's
+    backward = 2x forward relationship.
+    """
+    s = op.shape
+    ig = GemmOp(
+        name=f"{op.name}.ig",
+        shape=GemmShape(m=s.m, n=s.k, k=s.n, batch=s.batch),
+        phase=Phase.BACKWARD,
+        sublayer=op.sublayer,
+        layer=op.layer,
+        has_weights=op.has_weights,
+    )
+    wg = GemmOp(
+        name=f"{op.name}.wg",
+        shape=GemmShape(m=s.k, n=s.n, k=s.m, batch=s.batch),
+        phase=Phase.BACKWARD,
+        sublayer=op.sublayer,
+        layer=op.layer,
+        has_weights=op.has_weights,
+    )
+    return [ig, wg]
+
+
+def _backward_elementwise(op: ElementwiseOp) -> ElementwiseOp:
+    """Backward counterpart of a fused element-wise op (same traffic)."""
+    return ElementwiseOp(
+        name=f"{op.name}.grad",
+        elements=op.elements,
+        phase=Phase.BACKWARD,
+        sublayer=op.sublayer,
+        rw_factor=op.rw_factor,
+        kind=f"{op.kind}_grad",
+        layer=op.layer,
+    )
+
+
+def _sublayer_backward(
+    forward_ops: List[Op],
+    model: ModelConfig,
+    parallel: ParallelConfig,
+    sublayer: SubLayer,
+    weight_bytes: int,
+    layer: int,
+) -> List[Op]:
+    """Backward operators for one sub-layer, in execution order.
+
+    Walks the forward ops in reverse; GEMMs expand to IG + WG pairs, the
+    forward TP all-reduce is replaced by its backward conjugate, and a DP
+    weight-gradient all-reduce (overlappable) is emitted at the end, after
+    all of the sub-layer's WG GEMMs.
+    """
+    ops: List[Op] = []
+    for op in reversed(forward_ops):
+        if isinstance(op, GemmOp):
+            ops.extend(backward_gemms_for(op))
+        elif isinstance(op, ElementwiseOp):
+            ops.append(_backward_elementwise(op))
+        else:
+            # The forward TP all-reduce's conjugate reduces errors on the
+            # way back (the g/f operator pair in Megatron).
+            ops.append(_tp_allreduce(f"{op.name.split('.')[0]}.ar_bwd",
+                                     model, Phase.BACKWARD, sublayer, layer))
+    if parallel.uses_data_parallelism and weight_bytes > 0:
+        ops.append(
+            CommOp(
+                name=f"{sublayer.value}.grad_ar",
+                collective=CollectiveKind.ALL_REDUCE,
+                nbytes=weight_bytes,
+                group=CommGroup.DP,
+                phase=Phase.BACKWARD,
+                sublayer=sublayer,
+                overlappable=True,
+                layer=layer,
+            )
+        )
+    return ops
+
+
+def attention_backward_ops(model: ModelConfig, parallel: ParallelConfig,
+                           layer: int = 0) -> List[Op]:
+    """Backward operators of the attention sub-layer."""
+    return _sublayer_backward(
+        attention_forward_ops(model, parallel, layer),
+        model,
+        parallel,
+        SubLayer.ATTENTION,
+        attention_weight_bytes(model, parallel),
+        layer,
+    )
+
+
+def fc_backward_ops(model: ModelConfig, parallel: ParallelConfig,
+                    layer: int = 0) -> List[Op]:
+    """Backward operators of the FC sub-layer."""
+    return _sublayer_backward(
+        fc_forward_ops(model, parallel, layer),
+        model,
+        parallel,
+        SubLayer.FC,
+        fc_weight_bytes(model, parallel),
+        layer,
+    )
+
+
+def layer_backward_ops(model: ModelConfig, parallel: ParallelConfig,
+                       layer: int = 0) -> List[Op]:
+    """All backward operators of one layer (FC first: reverse of forward)."""
+    return (fc_backward_ops(model, parallel, layer)
+            + attention_backward_ops(model, parallel, layer))

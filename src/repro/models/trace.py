@@ -1,0 +1,63 @@
+"""Training-iteration trace assembly.
+
+Builds the full ordered operator trace of one training iteration (or one
+inference forward pass, Section 6.3) of a Transformer under a given
+distributed setup: all layers forward, then all layers backward in reverse
+order, with DP gradient all-reduces interleaved where their producing
+weight-gradient GEMMs complete -- the structure that gives data parallelism
+its overlap opportunity (Figure 3(a)).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.hyperparams import (
+    ModelConfig,
+    ParallelConfig,
+    validate_model_parallel,
+)
+from repro.models import layers
+from repro.models.graph import Op, Trace
+
+__all__ = ["training_trace", "forward_trace", "layer_trace"]
+
+
+def layer_trace(model: ModelConfig, parallel: ParallelConfig,
+                layer: int = 0) -> Trace:
+    """Trace of a single layer's forward + backward execution.
+
+    Per-layer behaviour is identical across a Transformer's layers, so
+    most analyses run on a single-layer trace and scale by the layer count.
+    """
+    validate_model_parallel(model, parallel)
+    ops: List[Op] = []
+    ops.extend(layers.layer_forward_ops(model, parallel, layer))
+    ops.extend(layers.layer_backward_ops(model, parallel, layer))
+    return Trace(model=model, parallel=parallel, ops=tuple(ops))
+
+
+def training_trace(model: ModelConfig, parallel: ParallelConfig) -> Trace:
+    """Trace of one full training iteration across all layers.
+
+    Forward runs layers 0..L-1 in order; backward runs L-1..0.  Each
+    layer's DP gradient all-reduce is emitted inside its backward block,
+    so it can overlap with the backward compute of *earlier* layers -- the
+    slack the paper analyzes (Section 3.4).
+    """
+    validate_model_parallel(model, parallel)
+    ops: List[Op] = []
+    for layer in range(model.num_layers):
+        ops.extend(layers.layer_forward_ops(model, parallel, layer))
+    for layer in reversed(range(model.num_layers)):
+        ops.extend(layers.layer_backward_ops(model, parallel, layer))
+    return Trace(model=model, parallel=parallel, ops=tuple(ops))
+
+
+def forward_trace(model: ModelConfig, parallel: ParallelConfig) -> Trace:
+    """Forward-only trace (distributed inference, Section 6.3)."""
+    validate_model_parallel(model, parallel)
+    ops: List[Op] = []
+    for layer in range(model.num_layers):
+        ops.extend(layers.layer_forward_ops(model, parallel, layer))
+    return Trace(model=model, parallel=parallel, ops=tuple(ops))

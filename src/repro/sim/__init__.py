@@ -1,0 +1,32 @@
+"""Simulated-testbed execution: scheduler, executor, profiler, breakdowns."""
+
+from repro.sim.breakdown import Breakdown
+from repro.sim.engine import Schedule, Task, run_schedule
+from repro.sim.executor import (
+    ExecutionResult,
+    TimingModels,
+    execute_trace,
+    op_duration,
+    schedule_with_durations,
+)
+from repro.sim.overlap import execute_with_decomposition
+from repro.sim.profiler import KernelRecord, Profile, profile_trace
+from repro.sim.timeline import render_timeline, utilization_summary
+
+__all__ = [
+    "Breakdown",
+    "ExecutionResult",
+    "KernelRecord",
+    "Profile",
+    "Schedule",
+    "Task",
+    "TimingModels",
+    "execute_trace",
+    "execute_with_decomposition",
+    "op_duration",
+    "profile_trace",
+    "render_timeline",
+    "run_schedule",
+    "schedule_with_durations",
+    "utilization_summary",
+]

@@ -1,0 +1,98 @@
+"""Compute/communication contention modeling (Section 4.3.7).
+
+When collectives run concurrently with compute on the same accelerator
+they contend for memory bandwidth, caches, and CUs -- the paper cites an
+~8x combined effect on overlapped communication and notes the mirror
+effect: "communication can potentially slow down due to interference
+among compute and longer running communication".
+
+The cluster already slows *overlapped communication* by an interference
+factor.  This module adds the compute side: compute tasks that execute
+while asynchronous communication is in flight run slower by a
+``compute_slowdown`` factor.  Because the slowdown changes the schedule
+which changes who overlaps whom, the executor iterates to a fixed point
+(two or three rounds suffice in practice -- the overlap structure of a
+training iteration is stable).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hardware.cluster import ClusterSpec
+from repro.models.graph import Trace
+from repro.sim.executor import (
+    COMM_ASYNC_STREAM,
+    COMPUTE_STREAM,
+    DEFAULT_TIMING,
+    ExecutionResult,
+    TimingModels,
+    op_duration,
+    schedule_with_durations,
+)
+
+__all__ = ["execute_with_contention"]
+
+
+def _overlap_fractions(result: ExecutionResult) -> List[float]:
+    """Per-op fraction of its runtime spent under in-flight async comm."""
+    comm_intervals = result.schedule.intervals(COMM_ASYNC_STREAM)
+    fractions = []
+    scheduled = {st.task.id: st for st in result.schedule.tasks}
+    for index, op in enumerate(result.trace.ops):
+        task = scheduled[f"{index}:{op.name}"]
+        duration = task.finish - task.start
+        if duration <= 0 or task.task.resource != COMPUTE_STREAM:
+            fractions.append(0.0)
+            continue
+        covered = 0.0
+        for start, finish in comm_intervals:
+            covered += max(0.0, min(task.finish, finish)
+                           - max(task.start, start))
+        fractions.append(min(1.0, covered / duration))
+    return fractions
+
+
+def execute_with_contention(
+    trace: Trace,
+    cluster: ClusterSpec,
+    compute_slowdown: float = 1.2,
+    timing: TimingModels = DEFAULT_TIMING,
+    max_rounds: int = 4,
+    tolerance: float = 1e-4,
+) -> ExecutionResult:
+    """Execute a trace with bidirectional compute/comm contention.
+
+    Communication-side interference comes from the cluster's
+    ``comm_interference_slowdown`` as usual; additionally, each compute
+    op's duration is inflated by ``compute_slowdown`` on the fraction of
+    its runtime that overlaps in-flight asynchronous communication.
+    Iterates scheduling until the makespan converges.
+
+    Raises:
+        ValueError: for a slowdown below 1 or non-positive rounds.
+    """
+    if compute_slowdown < 1.0:
+        raise ValueError("compute_slowdown must be >= 1")
+    if max_rounds < 1:
+        raise ValueError("max_rounds must be >= 1")
+    base_durations = [op_duration(op, trace, cluster, timing)
+                      for op in trace.ops]
+    result = schedule_with_durations(trace, base_durations)
+    if compute_slowdown == 1.0:
+        return result
+    for _ in range(max_rounds):
+        fractions = _overlap_fractions(result)
+        durations = [
+            base * (1.0 + fraction * (compute_slowdown - 1.0))
+            for base, fraction in zip(base_durations, fractions)
+        ]
+        next_result = schedule_with_durations(trace, durations)
+        converged = abs(
+            next_result.breakdown.iteration_time
+            - result.breakdown.iteration_time
+        ) <= tolerance * max(result.breakdown.iteration_time, 1e-12)
+        result = next_result
+        if converged:
+            break
+    return result

@@ -1,0 +1,100 @@
+"""Critical-path extraction from schedules.
+
+Answers "what actually sets the iteration time?": walks back from the
+task that finishes last through whichever predecessor (dependency or
+same-stream queue) ended exactly when it started, yielding the chain of
+tasks with zero slack.  Summing the chain by resource gives the
+critical-path split the paper's Figure 14 reasons about -- how much of
+the end-to-end time is communication *that nothing could hide*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.engine import Schedule, ScheduledTask
+
+__all__ = ["CriticalPath", "critical_path"]
+
+_EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The zero-slack chain of a schedule.
+
+    Attributes:
+        tasks: Chain members in execution order.
+    """
+
+    tasks: Tuple[ScheduledTask, ...]
+
+    @property
+    def length(self) -> float:
+        """Total duration along the chain (== the makespan, minus any
+        leading idle time, which our schedules never have)."""
+        return sum(st.task.duration for st in self.tasks)
+
+    def time_by_resource(self) -> Dict[str, float]:
+        """Chain time attributed to each resource."""
+        totals: Dict[str, float] = {}
+        for st in self.tasks:
+            totals[st.task.resource] = totals.get(st.task.resource, 0.0) + (
+                st.task.duration
+            )
+        return totals
+
+    def fraction_on(self, resource: str) -> float:
+        """Fraction of the critical path spent on one resource."""
+        if self.length == 0:
+            return 0.0
+        return self.time_by_resource().get(resource, 0.0) / self.length
+
+
+def critical_path(schedule: Schedule) -> CriticalPath:
+    """Extract one critical path from a schedule.
+
+    When several chains tie (equal finish times), dependency edges are
+    preferred over same-stream queueing edges, and earlier-submitted
+    tasks break remaining ties -- deterministic for a deterministic
+    schedule.
+    """
+    if not schedule.tasks:
+        return CriticalPath(tasks=())
+    by_id = schedule.by_id()
+
+    # Rebuild the same-stream predecessor map (FIFO order = submission
+    # order, which schedule.tasks preserves).
+    stream_predecessor: Dict[str, Optional[str]] = {}
+    last_on: Dict[str, str] = {}
+    for st in schedule.tasks:
+        stream_predecessor[st.task.id] = last_on.get(st.task.resource)
+        last_on[st.task.resource] = st.task.id
+
+    def binding_predecessor(st: ScheduledTask) -> Optional[ScheduledTask]:
+        if st.start <= _EPSILON:
+            return None
+        for dep in st.task.deps:
+            candidate = by_id[dep]
+            if abs(candidate.finish - st.start) <= _EPSILON:
+                return candidate
+        queue_pred = stream_predecessor[st.task.id]
+        if queue_pred is not None:
+            candidate = by_id[queue_pred]
+            if abs(candidate.finish - st.start) <= _EPSILON:
+                return candidate
+        return None
+
+    # Start from the last-finishing task (earliest submission on ties).
+    tail = max(schedule.tasks, key=lambda st: (st.finish,))
+    chain: List[ScheduledTask] = [tail]
+    current = tail
+    while True:
+        predecessor = binding_predecessor(current)
+        if predecessor is None:
+            break
+        chain.append(predecessor)
+        current = predecessor
+    chain.reverse()
+    return CriticalPath(tasks=tuple(chain))

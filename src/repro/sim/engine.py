@@ -1,0 +1,174 @@
+"""Deterministic discrete-event scheduler for resource-constrained DAGs.
+
+The execution engine underneath the simulated testbed: tasks (operator
+executions) are placed on named resources (the device's compute stream,
+the communication stream, ...); a task starts when all of its dependencies
+have finished *and* its resource is free, and runs for its fixed duration.
+Resources execute one task at a time in submission order (a stream), which
+matches GPU stream semantics.
+
+The scheduler is event-free in implementation -- because each resource is
+FIFO and durations are fixed, a single topological pass computes the exact
+start/finish times a full event queue would.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Task", "ScheduledTask", "Schedule", "run_schedule"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """A unit of work bound to one resource.
+
+    Attributes:
+        id: Unique task identifier.
+        resource: Name of the stream/engine executing the task.
+        duration: Execution time, seconds (>= 0; zero-length tasks are
+            allowed as synchronization points).
+        deps: IDs of tasks that must finish before this one starts.
+    """
+
+    id: str
+    resource: str
+    duration: float
+    deps: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"task {self.id!r} has negative duration")
+        if not isinstance(self.deps, tuple):
+            object.__setattr__(self, "deps", tuple(self.deps))
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """A task with its computed start/finish times."""
+
+    task: Task
+    start: float
+    finish: float
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Result of scheduling a task DAG.
+
+    Attributes:
+        tasks: Scheduled tasks in submission order.
+    """
+
+    tasks: Tuple[ScheduledTask, ...]
+
+    @property
+    def makespan(self) -> float:
+        """Finish time of the last task (0 for an empty schedule)."""
+        if not self.tasks:
+            return 0.0
+        return max(st.finish for st in self.tasks)
+
+    def by_id(self) -> Dict[str, ScheduledTask]:
+        return {st.task.id: st for st in self.tasks}
+
+    def busy_time(self, resource: str) -> float:
+        """Total execution time on one resource."""
+        return sum(st.task.duration for st in self.tasks
+                   if st.task.resource == resource)
+
+    def resource_finish(self, resource: str) -> float:
+        """Finish time of the last task on one resource (0 if none)."""
+        times = [st.finish for st in self.tasks
+                 if st.task.resource == resource]
+        return max(times) if times else 0.0
+
+    def resources(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for st in self.tasks:
+            seen.setdefault(st.task.resource, None)
+        return list(seen)
+
+    def utilization(self, resource: str) -> float:
+        """Busy fraction of a resource over the makespan."""
+        span = self.makespan
+        if span == 0:
+            return 0.0
+        return self.busy_time(resource) / span
+
+    def intervals(self, resource: str) -> List[Tuple[float, float]]:
+        """(start, finish) intervals of a resource's tasks, time-ordered."""
+        ivals = [(st.start, st.finish) for st in self.tasks
+                 if st.task.resource == resource]
+        return sorted(ivals)
+
+
+def run_schedule(tasks: Sequence[Task]) -> Schedule:
+    """Schedule a task DAG and return exact start/finish times.
+
+    Tasks on the same resource run in submission order (FIFO streams).
+    Dependencies may reference any other task, forward or backward in
+    submission order, as long as the graph is acyclic.
+
+    Raises:
+        ValueError: on duplicate IDs, unknown dependency IDs, or cycles.
+    """
+    by_id: Dict[str, Task] = {}
+    for task in tasks:
+        if task.id in by_id:
+            raise ValueError(f"duplicate task id {task.id!r}")
+        by_id[task.id] = task
+    for task in tasks:
+        for dep in task.deps:
+            if dep not in by_id:
+                raise ValueError(
+                    f"task {task.id!r} depends on unknown task {dep!r}"
+                )
+
+    # FIFO streams add an implicit dependency on the previous task of the
+    # same resource; fold those in before the topological pass.
+    effective_deps: Dict[str, Tuple[str, ...]] = {}
+    last_on_resource: Dict[str, str] = {}
+    for task in tasks:
+        deps = list(task.deps)
+        prev = last_on_resource.get(task.resource)
+        if prev is not None:
+            deps.append(prev)
+        effective_deps[task.id] = tuple(deps)
+        last_on_resource[task.resource] = task.id
+
+    # Kahn's algorithm over the effective dependency graph.
+    indegree: Dict[str, int] = {t.id: len(effective_deps[t.id]) for t in tasks}
+    dependents: Dict[str, List[str]] = defaultdict(list)
+    for task in tasks:
+        for dep in effective_deps[task.id]:
+            dependents[dep].append(task.id)
+    ready = [tid for tid, deg in indegree.items() if deg == 0]
+    order: List[str] = []
+    while ready:
+        tid = ready.pop()
+        order.append(tid)
+        for successor in dependents[tid]:
+            indegree[successor] -= 1
+            if indegree[successor] == 0:
+                ready.append(successor)
+    if len(order) != len(tasks):
+        raise ValueError("task graph contains a cycle")
+
+    finish: Dict[str, float] = {}
+    start: Dict[str, float] = {}
+    for tid in order:
+        task = by_id[tid]
+        begin = 0.0
+        for dep in effective_deps[tid]:
+            begin = max(begin, finish[dep])
+        start[tid] = begin
+        finish[tid] = begin + task.duration
+
+    scheduled = tuple(
+        ScheduledTask(task=task, start=start[task.id], finish=finish[task.id])
+        for task in tasks
+    )
+    return Schedule(tasks=scheduled)

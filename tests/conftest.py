@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.hardware.cluster import ClusterSpec, mi210_node, multi_node_cluster
+from repro.sim.executor import DEFAULT_TIMING, TimingModels
+
+
+@pytest.fixture(scope="session")
+def cluster() -> ClusterSpec:
+    """The paper's four-MI210 testbed."""
+    return mi210_node()
+
+
+@pytest.fixture(scope="session")
+def exact_cluster() -> ClusterSpec:
+    """Testbed with collective jitter disabled (exact alpha-beta model)."""
+    return mi210_node(jitter=False)
+
+
+@pytest.fixture(scope="session")
+def multinode() -> ClusterSpec:
+    """A multi-node cluster with 8x slower inter-node links."""
+    return multi_node_cluster()
+
+
+@pytest.fixture(scope="session")
+def exact_timing() -> TimingModels:
+    """Compute timing models with kernel-selection jitter disabled."""
+    return DEFAULT_TIMING.without_jitter()
+
+
+@pytest.fixture()
+def small_model() -> ModelConfig:
+    """A small, fast-to-simulate Transformer."""
+    return ModelConfig(name="small", hidden=1024, seq_len=512, batch=2,
+                       num_layers=2, num_heads=16)
+
+
+@pytest.fixture()
+def medium_model() -> ModelConfig:
+    """A T-NLG-scale sweep model."""
+    return ModelConfig(name="medium", hidden=4096, seq_len=1024, batch=1,
+                       num_heads=32)
+
+
+@pytest.fixture()
+def tp_dp_parallel() -> ParallelConfig:
+    """A combined TP + DP setup."""
+    return ParallelConfig(tp=8, dp=4)

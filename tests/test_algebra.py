@@ -1,0 +1,68 @@
+"""Tests for repro.core.algebra (asymptotic complexity terms)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import algebra
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+
+
+def _model(hidden=2048, seq_len=1024, batch=2) -> ModelConfig:
+    return ModelConfig(name="m", hidden=hidden, seq_len=seq_len,
+                       batch=batch, num_heads=16)
+
+
+class TestEdgeComplexity:
+    def test_equation_6_form(self):
+        value = algebra.edge_complexity(_model(), ParallelConfig(tp=8))
+        assert value == (2048 + 1024) / 8
+
+    @given(tp=st.sampled_from([1, 2, 4, 8, 16, 32, 64]))
+    def test_inverse_in_tp(self, tp):
+        base = algebra.edge_complexity(_model(), ParallelConfig(tp=1))
+        assert algebra.edge_complexity(_model(), ParallelConfig(tp=tp)) == (
+            pytest.approx(base / tp)
+        )
+
+    def test_additive_in_h_and_sl(self):
+        a = algebra.edge_complexity(_model(hidden=4096, seq_len=1024),
+                                    ParallelConfig(tp=4))
+        b = algebra.edge_complexity(_model(hidden=1024, seq_len=4096),
+                                    ParallelConfig(tp=4))
+        assert a == b
+
+
+class TestSlackComplexity:
+    def test_equation_9_form(self):
+        assert algebra.slack_complexity(_model(seq_len=1024, batch=4)) == 4096
+
+    def test_independent_of_hidden(self):
+        assert algebra.slack_complexity(_model(hidden=1024)) == (
+            algebra.slack_complexity(_model(hidden=8192))
+        )
+
+
+class TestNormalizedSeries:
+    def test_normalizes_to_first_entry(self):
+        assert algebra.normalized_series([4.0, 2.0, 1.0]) == [1.0, 0.5, 0.25]
+
+    def test_custom_baseline_index(self):
+        assert algebra.normalized_series([2.0, 4.0], baseline_index=1) == (
+            [0.5, 1.0]
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            algebra.normalized_series([])
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError, match="zero"):
+            algebra.normalized_series([0.0, 1.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1,
+                    max_size=20))
+    def test_first_entry_always_one(self, values):
+        assert algebra.normalized_series(values)[0] == pytest.approx(1.0)

@@ -1,0 +1,77 @@
+"""Tests for repro.models.bucketing (gradient bucket tuning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.models.bucketing import bucket_gradients
+from repro.models.trace import training_trace
+from repro.sim.executor import execute_trace
+
+
+def _trace(layers=4, hidden=2048, dp=16):
+    model = ModelConfig(name="m", hidden=hidden, seq_len=1024, batch=1,
+                        num_layers=layers, num_heads=16)
+    return training_trace(model, ParallelConfig(tp=4, dp=dp))
+
+
+class TestTransform:
+    def test_rejects_bad_bucket(self):
+        with pytest.raises(ValueError, match="bucket_bytes"):
+            bucket_gradients(_trace(), 0)
+
+    def test_requires_gradient_ars(self):
+        with pytest.raises(ValueError, match="data-parallel"):
+            bucket_gradients(_trace(dp=1), 1 << 20)
+
+    def test_bytes_conserved(self):
+        trace = _trace()
+        bucketed = bucket_gradients(trace, 8 << 20)
+        assert bucketed.total_comm_bytes(overlappable=True) == (
+            trace.total_comm_bytes(overlappable=True)
+        )
+
+    def test_huge_bucket_coalesces_to_one(self):
+        trace = _trace()
+        bucketed = bucket_gradients(trace, 1 << 40)
+        assert len(bucketed.overlappable_comms()) == 1
+
+    def test_tiny_bucket_splits(self):
+        trace = _trace()
+        original = len(trace.overlappable_comms())
+        bucketed = bucket_gradients(trace, 1 << 20)
+        assert len(bucketed.overlappable_comms()) > original
+        assert all(op.nbytes <= 1 << 20
+                   for op in bucketed.overlappable_comms())
+
+    def test_other_ops_untouched(self):
+        trace = _trace()
+        bucketed = bucket_gradients(trace, 8 << 20)
+        assert bucketed.total_gemm_flops() == trace.total_gemm_flops()
+        assert bucketed.total_comm_bytes(overlappable=False) == (
+            trace.total_comm_bytes(overlappable=False)
+        )
+
+
+class TestTuningCurve:
+    def test_extremes_lose_to_a_middle_bucket(self, cluster):
+        # The DDP curve: tiny buckets waste bandwidth/latency, one giant
+        # bucket forfeits overlap; a middle size beats at least one
+        # extreme on iteration time.
+        trace = _trace(layers=6, hidden=4096)
+        def iteration(bucket_bytes):
+            return execute_trace(bucket_gradients(trace, bucket_bytes),
+                                 cluster).breakdown.iteration_time
+        tiny = iteration(256 << 10)
+        middle = iteration(32 << 20)
+        giant = iteration(1 << 40)
+        assert middle <= min(tiny, giant) + 1e-12
+
+    def test_giant_bucket_exposes_tail(self, cluster):
+        trace = _trace(layers=6, hidden=4096)
+        middle = execute_trace(bucket_gradients(trace, 32 << 20),
+                               cluster).breakdown
+        giant = execute_trace(bucket_gradients(trace, 1 << 40),
+                              cluster).breakdown
+        assert giant.exposed_comm_time >= middle.exposed_comm_time

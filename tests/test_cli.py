@@ -1,0 +1,147 @@
+"""Tests for repro.cli."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_flags(self):
+        args = build_parser().parse_args(
+            ["analyze", "--hidden", "4096", "--seq-len", "1024",
+             "--tp", "8"]
+        )
+        assert args.hidden == 4096
+        assert args.dp == 1  # default
+
+
+class TestAnalyze:
+    def test_prints_breakdown(self, capsys):
+        code = main(["analyze", "--hidden", "2048", "--seq-len", "512",
+                     "--tp", "4", "--dp", "2", "--layers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serialized comm" in out
+        assert "critical path" in out
+
+    def test_hardware_scaling_flags(self, capsys):
+        base_code = main(["analyze", "--hidden", "2048", "--seq-len",
+                          "512", "--tp", "4", "--layers", "2"])
+        base = capsys.readouterr().out
+        future_code = main(["analyze", "--hidden", "2048", "--seq-len",
+                            "512", "--tp", "4", "--layers", "2",
+                            "--compute-scale", "4"])
+        future = capsys.readouterr().out
+        assert base_code == future_code == 0
+
+        def serialized_pct(text: str) -> float:
+            line = next(l for l in text.splitlines()
+                        if l.startswith("serialized comm"))
+            return float(line.split("(")[1].rstrip("%)"))
+
+        assert serialized_pct(future) > serialized_pct(base)
+
+    def test_timeline_flag(self, capsys):
+        code = main(["analyze", "--hidden", "2048", "--seq-len", "512",
+                     "--tp", "4", "--dp", "2", "--layers", "2",
+                     "--timeline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "comm-async" in out
+        assert "#" in out
+
+    def test_hotspots_flag(self, capsys):
+        code = main(["analyze", "--hidden", "2048", "--seq-len", "512",
+                     "--tp", "4", "--layers", "2", "--hotspots", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "top 3 operators" in out
+
+    def test_invalid_config_exits_nonzero(self, capsys):
+        code = main(["analyze", "--hidden", "100", "--seq-len", "10",
+                     "--tp", "7"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--hidden", "1024", "--seq-len", "512",
+                  "--device", "TPU"])
+
+
+class TestExperiment:
+    def test_single_experiment(self, capsys):
+        assert main(["experiment", "table-2"]) == 0
+        assert "BERT" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure-10" in out
+        assert "extension-zero" in out
+
+    def test_unknown_id(self, capsys):
+        assert main(["experiment", "figure-99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestExperimentFormats:
+    def test_json_format(self, capsys):
+        assert main(["experiment", "table-3", "--format", "json"]) == 0
+        import json
+        data = json.loads(capsys.readouterr().out)
+        assert data["experiment_id"] == "table-3"
+
+    def test_csv_format(self, capsys):
+        assert main(["experiment", "table-3", "--format", "csv"]) == 0
+        assert capsys.readouterr().out.startswith("parameter / setup,")
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        assert main(["experiment", "table-2", "--format", "json",
+                     "-o", str(target)]) == 0
+        assert capsys.readouterr().out == ""
+        assert "table-2" in target.read_text()
+
+
+class TestPlan:
+    def test_ranks_plans(self, capsys):
+        code = main(["plan", "--hidden", "4096", "--seq-len", "1024",
+                     "--layers", "8", "--batch", "4", "--devices", "16",
+                     "--microbatches", "4", "--top", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "feasible plans" in out
+        assert "TP=" in out
+
+    def test_infeasible_budget(self, capsys):
+        code = main(["plan", "--hidden", "65536", "--seq-len", "4096",
+                     "--devices", "2"])
+        assert code == 1
+        assert "add devices" in capsys.readouterr().err
+
+    def test_bad_world_size(self, capsys):
+        code = main(["plan", "--hidden", "4096", "--seq-len", "1024",
+                     "--devices", "24"])
+        assert code == 2
+        assert "power of two" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_zoo(self, capsys):
+        assert main(["zoo"]) == 0
+        assert "PaLM" in capsys.readouterr().out
+
+    def test_forecast(self, capsys):
+        assert main(["forecast", "--start", "2023", "--end", "2024"]) == 0
+        out = capsys.readouterr().out
+        assert "2023" in out and "2024" in out
+
+    def test_forecast_bad_range(self, capsys):
+        assert main(["forecast", "--start", "2025", "--end", "2023"]) == 2

@@ -1,0 +1,166 @@
+"""Tests for repro.hardware.cluster (topology and hierarchical AR)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import collectives as coll
+from repro.hardware.cluster import (
+    DEFAULT_INTER_NODE_SLOWDOWN,
+    ClusterSpec,
+    mi210_node,
+    multi_node_cluster,
+)
+from repro.hardware.collectives import AllReduceAlgorithm
+from repro.hardware.network import Link
+from repro.hardware.specs import MI210
+
+
+class TestConstruction:
+    def test_testbed_defaults(self):
+        node = mi210_node()
+        assert node.device is MI210
+        assert node.devices_per_node == 4
+        assert node.intra_link.bandwidth == pytest.approx(150e9)
+        assert node.inter_link is None
+
+    def test_jitterless_variant(self):
+        assert mi210_node(jitter=False).collective_model.jitter_amplitude == 0
+
+    def test_multi_node_slower_inter_link(self):
+        cluster = multi_node_cluster()
+        assert cluster.inter_link is not None
+        assert cluster.inter_link.bandwidth == pytest.approx(
+            cluster.intra_link.bandwidth / DEFAULT_INTER_NODE_SLOWDOWN
+        )
+
+    def test_multi_node_rejects_sub_unit_slowdown(self):
+        with pytest.raises(ValueError, match="slowdown"):
+            multi_node_cluster(inter_node_slowdown=0.5)
+
+    def test_rejects_bad_devices_per_node(self):
+        with pytest.raises(ValueError, match="devices_per_node"):
+            ClusterSpec(devices_per_node=0)
+
+    def test_rejects_sub_unit_interference(self):
+        with pytest.raises(ValueError, match="interference"):
+            ClusterSpec(comm_interference_slowdown=0.5)
+
+
+class TestAllReduceDispatch:
+    def test_group_of_one_is_free(self):
+        assert mi210_node().all_reduce_time(1 << 20, 1) == 0.0
+
+    def test_intra_node_matches_collective(self):
+        node = mi210_node(jitter=False)
+        expected = coll.all_reduce_time(
+            1 << 24, 4, node.intra_link, model=node.collective_model
+        )
+        assert node.all_reduce_time(1 << 24, 4) == pytest.approx(expected)
+
+    def test_flat_topology_when_no_inter_link(self):
+        # The paper's optimistic assumption: large groups still use
+        # intra-node bandwidth when no inter-node link is modeled.
+        node = mi210_node(jitter=False)
+        assert node.is_single_node(128)
+        assert node.all_reduce_time(1 << 24, 128) > 0
+
+    def test_hierarchical_decomposition_is_sum_of_stages(self):
+        cluster = multi_node_cluster().with_interference(1.0)
+        exact = ClusterSpec(
+            device=cluster.device,
+            devices_per_node=cluster.devices_per_node,
+            intra_link=cluster.intra_link,
+            inter_link=cluster.inter_link,
+            collective_model=cluster.collective_model.without_jitter(),
+        )
+        nbytes, group = 1 << 26, 16
+        local = exact.devices_per_node
+        nodes = group // local
+        expected = (
+            coll.reduce_scatter_time(nbytes, local, exact.intra_link,
+                                     model=exact.collective_model)
+            + coll.all_reduce_time(nbytes / local, nodes, exact.inter_link,
+                                   model=exact.collective_model)
+            + coll.all_gather_time(nbytes, local, exact.intra_link,
+                                   model=exact.collective_model)
+        )
+        assert exact.all_reduce_time(nbytes, group) == pytest.approx(expected)
+
+    def test_multi_node_slower_than_flat(self):
+        flat = mi210_node(jitter=False)
+        multi = multi_node_cluster()
+        multi = ClusterSpec(
+            device=multi.device,
+            devices_per_node=multi.devices_per_node,
+            intra_link=multi.intra_link,
+            inter_link=multi.inter_link,
+            collective_model=flat.collective_model,
+        )
+        assert multi.all_reduce_time(1 << 26, 16) > flat.all_reduce_time(
+            1 << 26, 16
+        )
+
+    def test_interference_applies_to_overlapped_only(self):
+        cluster = mi210_node().with_interference(8.0)
+        base = cluster.all_reduce_time(1 << 24, 4, overlapped=False)
+        slowed = cluster.all_reduce_time(1 << 24, 4, overlapped=True)
+        assert slowed == pytest.approx(8.0 * base)
+
+    def test_rejects_bad_group(self):
+        with pytest.raises(ValueError, match="group_size"):
+            mi210_node().all_reduce_time(1 << 20, 0)
+
+
+class TestOtherDispatch:
+    def test_all_to_all_uses_intra_for_small_groups(self):
+        node = mi210_node(jitter=False)
+        expected = coll.all_to_all_time(1 << 24, 4, node.intra_link,
+                                        model=node.collective_model)
+        assert node.all_to_all_time(1 << 24, 4) == pytest.approx(expected)
+
+    def test_all_to_all_free_for_one_device(self):
+        assert mi210_node().all_to_all_time(1 << 20, 1) == 0.0
+
+    def test_link_for_group(self):
+        cluster = multi_node_cluster()
+        assert cluster.link_for_group(4) is cluster.intra_link
+        assert cluster.link_for_group(64) is cluster.inter_link
+
+    def test_p2p_cross_node_uses_inter_link(self):
+        cluster = multi_node_cluster()
+        fast = cluster.p2p_time(1 << 24, cross_node=False)
+        slow = cluster.p2p_time(1 << 24, cross_node=True)
+        assert slow > fast
+
+    def test_p2p_cross_node_without_inter_link_falls_back(self):
+        node = mi210_node()
+        assert node.p2p_time(1 << 24, cross_node=True) == pytest.approx(
+            node.p2p_time(1 << 24, cross_node=False)
+        )
+
+
+class TestScaling:
+    def test_scaled_compute_and_network(self):
+        scaled = mi210_node().scaled(compute_scale=4.0, network_scale=2.0)
+        assert scaled.device.flops(MI210.peak_flops.__iter__().__next__()
+                                   ) == pytest.approx(
+            4.0 * next(iter(MI210.peak_flops.values()))
+        )
+        assert scaled.intra_link.bandwidth == pytest.approx(300e9)
+
+    def test_scaled_network_speeds_up_allreduce(self):
+        node = mi210_node(jitter=False)
+        faster = node.scaled(network_scale=2.0)
+        assert faster.all_reduce_time(1 << 28, 4) < node.all_reduce_time(
+            1 << 28, 4
+        )
+
+    def test_scaled_preserves_inter_link_absence(self):
+        assert mi210_node().scaled(compute_scale=2.0).inter_link is None
+
+    def test_scaled_scales_inter_link(self):
+        cluster = multi_node_cluster().scaled(network_scale=2.0)
+        assert cluster.inter_link.bandwidth == pytest.approx(
+            2 * 150e9 / DEFAULT_INTER_NODE_SLOWDOWN
+        )

@@ -1,0 +1,99 @@
+"""Tests for repro.models.compression (gradient compression)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.models.compression import (
+    ONE_BIT,
+    POWER_SGD_RANK4,
+    CompressionScheme,
+    compress_gradients,
+)
+from repro.models.graph import CommOp, ElementwiseOp
+from repro.models.trace import training_trace
+from repro.sim.executor import execute_trace
+
+
+def _trace(dp=16, hidden=2048):
+    model = ModelConfig(name="m", hidden=hidden, seq_len=1024, batch=1,
+                        num_layers=2, num_heads=16)
+    return training_trace(model, ParallelConfig(tp=4, dp=dp))
+
+
+class TestScheme:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ratio"):
+            CompressionScheme(name="bad", ratio=0.0)
+        with pytest.raises(ValueError, match="ratio"):
+            CompressionScheme(name="bad", ratio=1.5)
+        with pytest.raises(ValueError, match="pass"):
+            CompressionScheme(name="bad", ratio=0.5, encode_passes=-1)
+
+    def test_builtin_schemes(self):
+        assert ONE_BIT.ratio == pytest.approx(1 / 16)
+        assert POWER_SGD_RANK4.ratio < ONE_BIT.ratio
+
+
+class TestTransform:
+    def test_requires_gradient_all_reduces(self):
+        with pytest.raises(ValueError, match="data-parallel"):
+            compress_gradients(_trace(dp=1), ONE_BIT)
+
+    def test_bytes_shrink_by_ratio(self):
+        plain = _trace()
+        compressed = compress_gradients(plain, ONE_BIT)
+        assert compressed.total_comm_bytes(overlappable=True) == (
+            pytest.approx(
+                plain.total_comm_bytes(overlappable=True) * ONE_BIT.ratio,
+                rel=0.01,
+            )
+        )
+
+    def test_serialized_comm_untouched(self):
+        plain = _trace()
+        compressed = compress_gradients(plain, ONE_BIT)
+        assert compressed.total_comm_bytes(overlappable=False) == (
+            plain.total_comm_bytes(overlappable=False)
+        )
+
+    def test_encode_decode_kernels_added(self):
+        plain = _trace()
+        compressed = compress_gradients(plain, ONE_BIT)
+        encoders = [op for op in compressed.elementwise()
+                    if op.kind == "compress_encode"]
+        decoders = [op for op in compressed.elementwise()
+                    if op.kind == "compress_decode"]
+        grads = plain.overlappable_comms()
+        assert len(encoders) == len(decoders) == len(grads)
+
+    def test_zero_pass_scheme_adds_no_kernels(self):
+        free = CompressionScheme(name="free", ratio=0.5, encode_passes=0,
+                                 decode_passes=0)
+        compressed = compress_gradients(_trace(), free)
+        assert not [op for op in compressed.elementwise()
+                    if op.kind.startswith("compress")]
+
+    def test_gemm_work_preserved(self):
+        plain = _trace()
+        compressed = compress_gradients(plain, POWER_SGD_RANK4)
+        assert compressed.total_gemm_flops() == plain.total_gemm_flops()
+
+
+class TestBehaviour:
+    def test_compression_shrinks_overlapped_comm_time(self, cluster):
+        plain = execute_trace(_trace(hidden=4096), cluster).breakdown
+        compressed = execute_trace(
+            compress_gradients(_trace(hidden=4096), ONE_BIT), cluster
+        ).breakdown
+        assert compressed.overlapped_comm_time < (
+            plain.overlapped_comm_time / 4
+        )
+
+    def test_compression_adds_compute(self, cluster):
+        plain = execute_trace(_trace(hidden=4096), cluster).breakdown
+        compressed = execute_trace(
+            compress_gradients(_trace(hidden=4096), ONE_BIT), cluster
+        ).breakdown
+        assert compressed.compute_time > plain.compute_time

@@ -1,0 +1,71 @@
+"""Tests for repro.sim.contention (bidirectional interference)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.models.trace import training_trace
+from repro.sim.contention import execute_with_contention
+from repro.sim.executor import execute_trace
+
+
+def _trace(dp=8):
+    model = ModelConfig(name="m", hidden=2048, seq_len=1024, batch=1,
+                        num_layers=3, num_heads=16)
+    return training_trace(model, ParallelConfig(tp=4, dp=dp))
+
+
+class TestValidation:
+    def test_rejects_sub_unit_slowdown(self, cluster):
+        with pytest.raises(ValueError, match="compute_slowdown"):
+            execute_with_contention(_trace(), cluster, compute_slowdown=0.9)
+
+    def test_rejects_bad_rounds(self, cluster):
+        with pytest.raises(ValueError, match="max_rounds"):
+            execute_with_contention(_trace(), cluster, max_rounds=0)
+
+
+class TestBehaviour:
+    def test_unit_slowdown_matches_plain_execution(self, cluster):
+        plain = execute_trace(_trace(), cluster).breakdown
+        same = execute_with_contention(_trace(), cluster,
+                                       compute_slowdown=1.0).breakdown
+        assert same == plain
+
+    def test_contention_lengthens_iterations(self, cluster):
+        plain = execute_trace(_trace(), cluster).breakdown
+        contended = execute_with_contention(_trace(), cluster,
+                                            compute_slowdown=1.5).breakdown
+        assert contended.iteration_time > plain.iteration_time
+        # Bounded by slowing *all* compute by the full factor.
+        assert contended.compute_time <= plain.compute_time * 1.5 + 1e-12
+
+    def test_no_async_comm_means_no_contention(self, cluster):
+        trace = _trace(dp=1)  # no overlappable communication
+        plain = execute_trace(trace, cluster).breakdown
+        contended = execute_with_contention(trace, cluster,
+                                            compute_slowdown=2.0).breakdown
+        assert contended == plain
+
+    def test_stronger_contention_hurts_more(self, cluster):
+        mild = execute_with_contention(_trace(), cluster,
+                                       compute_slowdown=1.2).breakdown
+        severe = execute_with_contention(_trace(), cluster,
+                                         compute_slowdown=2.0).breakdown
+        assert severe.iteration_time > mild.iteration_time
+
+    def test_deterministic(self, cluster):
+        first = execute_with_contention(_trace(), cluster).breakdown
+        second = execute_with_contention(_trace(), cluster).breakdown
+        assert first == second
+
+    def test_converges_quickly(self, cluster):
+        few = execute_with_contention(_trace(), cluster,
+                                      compute_slowdown=1.5,
+                                      max_rounds=2).breakdown
+        many = execute_with_contention(_trace(), cluster,
+                                       compute_slowdown=1.5,
+                                       max_rounds=8).breakdown
+        assert few.iteration_time == pytest.approx(many.iteration_time,
+                                                   rel=0.02)

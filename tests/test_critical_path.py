@@ -1,0 +1,93 @@
+"""Tests for repro.sim.critical_path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.models.trace import training_trace
+from repro.sim.critical_path import critical_path
+from repro.sim.engine import Task, run_schedule
+from repro.sim.executor import COMM_STREAM, COMPUTE_STREAM, execute_trace
+
+
+class TestSyntheticChains:
+    def test_empty_schedule(self):
+        path = critical_path(run_schedule([]))
+        assert path.tasks == ()
+        assert path.length == 0.0
+
+    def test_linear_chain(self):
+        schedule = run_schedule([
+            Task("a", "r1", 1.0),
+            Task("b", "r2", 2.0, deps=("a",)),
+            Task("c", "r1", 3.0, deps=("b",)),
+        ])
+        path = critical_path(schedule)
+        assert [st.task.id for st in path.tasks] == ["a", "b", "c"]
+        assert path.length == pytest.approx(schedule.makespan)
+
+    def test_parallel_branches_pick_the_long_one(self):
+        schedule = run_schedule([
+            Task("root", "a", 1.0),
+            Task("short", "b", 1.0, deps=("root",)),
+            Task("long", "c", 5.0, deps=("root",)),
+            Task("join", "d", 1.0, deps=("short", "long")),
+        ])
+        ids = [st.task.id for st in critical_path(schedule).tasks]
+        assert ids == ["root", "long", "join"]
+
+    def test_queueing_edges_followed(self):
+        # "b" has no deps but queues behind "a" on the shared stream.
+        schedule = run_schedule([
+            Task("a", "r", 4.0),
+            Task("b", "r", 1.0),
+        ])
+        ids = [st.task.id for st in critical_path(schedule).tasks]
+        assert ids == ["a", "b"]
+
+    def test_resource_attribution(self):
+        schedule = run_schedule([
+            Task("c1", "compute", 2.0),
+            Task("x1", "comm", 3.0, deps=("c1",)),
+            Task("c2", "compute", 1.0, deps=("x1",)),
+        ])
+        path = critical_path(schedule)
+        assert path.time_by_resource() == {"compute": pytest.approx(3.0),
+                                           "comm": pytest.approx(3.0)}
+        assert path.fraction_on("comm") == pytest.approx(0.5)
+
+
+class TestRealExecutions:
+    def test_path_length_equals_makespan(self, cluster):
+        model = ModelConfig(name="m", hidden=2048, seq_len=1024, batch=1,
+                            num_layers=2, num_heads=16)
+        result = execute_trace(training_trace(model, ParallelConfig(tp=4,
+                                                                    dp=4)),
+                               cluster)
+        path = critical_path(result.schedule)
+        assert path.length == pytest.approx(result.schedule.makespan)
+
+    def test_comm_fraction_matches_breakdown_class(self, cluster):
+        # The critical path's comm share must agree with the breakdown's
+        # critical-path communication fraction (both count serialized +
+        # exposed comm over the iteration).
+        model = ModelConfig(name="m", hidden=4096, seq_len=1024, batch=1,
+                            num_layers=2, num_heads=32)
+        result = execute_trace(training_trace(model, ParallelConfig(tp=16,
+                                                                    dp=2)),
+                               cluster)
+        path = critical_path(result.schedule)
+        comm_share = 1.0 - path.fraction_on(COMPUTE_STREAM)
+        assert comm_share == pytest.approx(
+            result.breakdown.critical_comm_fraction, abs=0.02
+        )
+
+    def test_serialized_ars_on_path(self, cluster):
+        model = ModelConfig(name="m", hidden=4096, seq_len=1024, batch=1,
+                            num_layers=1, num_heads=32)
+        result = execute_trace(training_trace(model, ParallelConfig(tp=16)),
+                               cluster)
+        path = critical_path(result.schedule)
+        resources = {st.task.resource for st in path.tasks}
+        assert COMM_STREAM in resources

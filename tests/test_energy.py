@@ -1,0 +1,97 @@
+"""Tests for repro.core.energy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.energy import (
+    EnergyBreakdown,
+    EnergyCoefficients,
+    trace_energy,
+)
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.models.trace import layer_trace, training_trace
+
+
+def _model(hidden=2048, layers=1) -> ModelConfig:
+    return ModelConfig(name="m", hidden=hidden, seq_len=1024, batch=1,
+                       num_layers=layers, num_heads=16)
+
+
+TP4_DP2 = ParallelConfig(tp=4, dp=2)
+
+
+class TestCoefficients:
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            EnergyCoefficients(pj_per_flop=0)
+
+    def test_rejects_negative_idle(self):
+        with pytest.raises(ValueError, match="idle"):
+            EnergyCoefficients(idle_watts=-1)
+
+
+class TestTraceEnergy:
+    def test_all_components_positive_under_tp_dp(self):
+        energy = trace_energy(layer_trace(_model(), TP4_DP2))
+        assert energy.compute_j > 0
+        assert energy.memory_j > 0
+        assert energy.communication_j > 0
+        assert energy.total_j == pytest.approx(
+            energy.compute_j + energy.memory_j + energy.communication_j
+        )
+
+    def test_no_parallelism_no_comm_energy(self):
+        energy = trace_energy(layer_trace(_model(), ParallelConfig()))
+        assert energy.communication_j == 0.0
+        assert energy.communication_fraction == 0.0
+
+    def test_energy_scales_with_layers(self):
+        one = trace_energy(training_trace(_model(layers=1), TP4_DP2))
+        three = trace_energy(training_trace(_model(layers=3), TP4_DP2))
+        assert three.total_j == pytest.approx(3 * one.total_j, rel=1e-9)
+
+    def test_compute_energy_tracks_flops(self):
+        trace = layer_trace(_model(), TP4_DP2)
+        coefficients = EnergyCoefficients()
+        energy = trace_energy(trace, coefficients)
+        expected = trace.total_gemm_flops() * coefficients.pj_per_flop * 1e-12
+        assert energy.compute_j == pytest.approx(expected)
+
+    def test_comm_fraction_grows_with_tp(self):
+        small_tp = trace_energy(layer_trace(_model(), ParallelConfig(tp=2)))
+        big_tp = trace_energy(layer_trace(_model(), ParallelConfig(tp=16)))
+        assert big_tp.communication_fraction > (
+            small_tp.communication_fraction
+        )
+
+    def test_data_movement_is_a_major_energy_share(self):
+        # Per-byte costs dwarf per-FLOP costs; even with ideal GEMM reuse
+        # (bytes_moved is a lower bound), data movement is a substantial
+        # slice of the budget -- and it grows as TP shards the compute.
+        energy = trace_energy(layer_trace(_model(hidden=4096), TP4_DP2))
+        assert energy.data_movement_fraction > 0.2
+        sharded = trace_energy(
+            layer_trace(_model(hidden=4096), ParallelConfig(tp=16, dp=2))
+        )
+        assert sharded.data_movement_fraction > (
+            energy.data_movement_fraction
+        )
+
+    def test_custom_coefficients_rescale(self):
+        trace = layer_trace(_model(), TP4_DP2)
+        base = trace_energy(trace)
+        pricey_links = trace_energy(trace, EnergyCoefficients(
+            pj_per_link_byte=2500.0
+        ))
+        assert pricey_links.communication_j == pytest.approx(
+            10 * base.communication_j
+        )
+        assert pricey_links.compute_j == base.compute_j
+
+
+class TestBreakdownProperties:
+    def test_zero_total_fractions(self):
+        empty = EnergyBreakdown(compute_j=0, memory_j=0, communication_j=0)
+        assert empty.communication_fraction == 0.0
+        assert empty.data_movement_fraction == 0.0

@@ -1,0 +1,49 @@
+"""Run every example script end-to-end (they are part of the API)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Expected signature strings per example, asserting each produced its
+#: scenario's key output rather than merely exiting 0.
+SIGNATURES = {
+    "quickstart.py": "future hardware (4x flop-vs-bw)",
+    "plan_future_training.py": "serialized (TP) communication share",
+    "hardware_codesign.py": "net scale needed",
+    "projection_workflow.py": "speedup:",
+    "moe_vs_dense.py": "serialized comm",
+    "inference_serving.py": "smallest TP meeting the SLO",
+    "parallelism_planner.py": "recommended: TP=",
+    "export_artifacts.py": "artifact directory ready",
+}
+
+
+def _example_paths():
+    return sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_has_a_signature():
+    names = {path.name for path in _example_paths()}
+    assert names == set(SIGNATURES), (
+        "update SIGNATURES when adding/removing examples"
+    )
+
+
+@pytest.mark.parametrize("script", _example_paths(),
+                         ids=lambda path: path.name)
+def test_example_runs(script, tmp_path):
+    args = [sys.executable, str(script)]
+    if script.name == "export_artifacts.py":
+        args.append(str(tmp_path / "artifacts"))
+    completed = subprocess.run(
+        args, capture_output=True, text=True, timeout=300,
+        cwd=str(EXAMPLES_DIR.parent),
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert SIGNATURES[script.name] in completed.stdout

@@ -1,0 +1,180 @@
+"""Tests for repro.core.flops (Equations 1-9)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import flops
+from repro.core.hyperparams import ModelConfig, ParallelConfig, Precision
+
+
+def _model(hidden=4096, seq_len=1024, batch=2, **kw) -> ModelConfig:
+    return ModelConfig(name="m", hidden=hidden, seq_len=seq_len,
+                       batch=batch, num_heads=32, **kw)
+
+
+TP8 = ParallelConfig(tp=8, dp=1)
+DP4 = ParallelConfig(tp=1, dp=4)
+TP8_DP4 = ParallelConfig(tp=8, dp=4)
+
+_pow2 = st.sampled_from([1024, 2048, 4096, 8192])
+_tp = st.sampled_from([1, 2, 4, 8, 16, 32])
+_batch = st.integers(min_value=1, max_value=8)
+
+
+class TestForwardEquations:
+    def test_fc_gemm_ops_equation_1(self):
+        model = _model()
+        # 2 GEMMs x 2 * (4H * H/TP * SL * B)
+        expected = 2 * 2 * (4 * 4096 * 4096 // 8) * 1024 * 2
+        assert flops.fc_gemm_ops(model, TP8) == expected
+
+    def test_attention_gemm_ops_equation_2(self):
+        model = _model()
+        expected = 2 * 2 * (4096 // 8) * 1024 * 1024 * 2
+        assert flops.attention_gemm_ops(model, TP8) == expected
+
+    def test_linear_gemm_ops_equation_3_plus_out_proj(self):
+        model = _model()
+        # QKV (3 GEMMs) + output projection (1 GEMM)
+        expected = 4 * 2 * (4096 * 4096 * 1024 * 2 // 8)
+        assert flops.linear_gemm_ops(model, TP8) == expected
+
+    def test_forward_is_sum_of_components(self):
+        model = _model()
+        assert flops.forward_layer_ops(model, TP8) == (
+            flops.fc_gemm_ops(model, TP8)
+            + flops.attention_gemm_ops(model, TP8)
+            + flops.linear_gemm_ops(model, TP8)
+        )
+
+    @given(hidden=_pow2, seq_len=_pow2, tp=_tp, batch=_batch)
+    def test_compute_scales_inversely_with_tp(self, hidden, seq_len, tp,
+                                              batch):
+        model = _model(hidden=hidden, seq_len=seq_len, batch=batch)
+        base = flops.forward_layer_ops(model, ParallelConfig(tp=1))
+        sharded = flops.forward_layer_ops(model, ParallelConfig(tp=tp))
+        assert sharded * tp == base
+
+    @given(hidden=_pow2, seq_len=_pow2, batch=_batch)
+    def test_compute_linear_in_batch(self, hidden, seq_len, batch):
+        model = _model(hidden=hidden, seq_len=seq_len, batch=batch)
+        single = _model(hidden=hidden, seq_len=seq_len, batch=1)
+        assert flops.forward_layer_ops(model, TP8) == (
+            batch * flops.forward_layer_ops(single, TP8)
+        )
+
+    def test_fc_dominates_attention_when_h_exceeds_sl(self):
+        # Equation 4: O(H*SL*B/TP * (H + SL)) -- the H^2 term dominates.
+        model = _model(hidden=16384, seq_len=1024)
+        assert flops.fc_gemm_ops(model, TP8) > flops.attention_gemm_ops(
+            model, TP8
+        )
+
+
+class TestBackwardAndTraining:
+    def test_backward_is_twice_forward(self):
+        model = _model()
+        assert flops.backward_layer_ops(model, TP8) == (
+            2 * flops.forward_layer_ops(model, TP8)
+        )
+
+    def test_training_is_thrice_forward(self):
+        model = _model()
+        assert flops.training_layer_ops(model, TP8) == (
+            3 * flops.forward_layer_ops(model, TP8)
+        )
+
+    def test_fc_backprop_equation_7(self):
+        # Equation 7's structure (4 GEMMs of 4H x H/TP x SL*B) under the
+        # consistent 2*M*N*K multiply-add convention: exactly 2x the
+        # forward FC cost.
+        model = _model()
+        assert flops.fc_backprop_gemm_ops(model, TP8) == (
+            2 * flops.fc_gemm_ops(model, TP8)
+        )
+        expected = 2 * 4 * (4 * 4096 * (4096 // 8) * 1024 * 2)
+        assert flops.fc_backprop_gemm_ops(model, TP8) == expected
+
+
+class TestSerializedCommunication:
+    def test_equation_5_byte_count(self):
+        model = _model()
+        single = Precision.FP16.bytes * 4096 * 1024 * 2
+        assert flops.serialized_comm_bytes(model, TP8,
+                                           per_all_reduce=True) == single
+        assert flops.serialized_comm_bytes(model, TP8) == 4 * single
+
+    def test_no_tp_means_no_serialized_comm(self):
+        assert flops.serialized_comm_bytes(_model(), DP4) == 0
+
+    @given(tp=st.sampled_from([2, 4, 8, 16, 32]))
+    def test_bytes_independent_of_tp_degree(self, tp):
+        model = _model()
+        assert flops.serialized_comm_bytes(model, ParallelConfig(tp=tp)) == (
+            flops.serialized_comm_bytes(model, TP8)
+        )
+
+    def test_precision_scales_bytes_linearly(self):
+        fp32 = _model(precision=Precision.FP32)
+        fp16 = _model(precision=Precision.FP16)
+        assert flops.serialized_comm_bytes(fp32, TP8) == (
+            2 * flops.serialized_comm_bytes(fp16, TP8)
+        )
+
+
+class TestOverlappedCommunication:
+    def test_equation_8_fc_weight_bytes(self):
+        model = _model()
+        expected = Precision.FP16.bytes * 2 * (4 * 4096 * 4096 // 8)
+        assert flops.fc_weight_grad_bytes(model, TP8_DP4) == expected
+
+    def test_no_dp_means_no_overlapped_comm(self):
+        assert flops.fc_weight_grad_bytes(_model(), TP8) == 0
+        assert flops.layer_weight_grad_bytes(_model(), TP8) == 0
+
+    def test_layer_weight_bytes_track_sharded_params(self):
+        model = _model()
+        expected = Precision.FP16.bytes * (model.params_per_layer() // 8)
+        assert flops.layer_weight_grad_bytes(model, TP8_DP4) == expected
+
+    @given(seq_len=_pow2, batch=_batch)
+    def test_weight_bytes_independent_of_inputs(self, seq_len, batch):
+        # Equation 8 is O(H^2 / TP): no SL or B dependence.
+        model = _model(seq_len=seq_len, batch=batch)
+        reference = _model(seq_len=1024, batch=1)
+        assert flops.layer_weight_grad_bytes(model, TP8_DP4) == (
+            flops.layer_weight_grad_bytes(reference, TP8_DP4)
+        )
+
+
+class TestRatios:
+    def test_edge_ratio_matches_equation_6_scaling(self):
+        # Amdahl's Law edge ~ (H + SL) / TP: doubling H with SL << H
+        # roughly doubles the ops/byte ratio.
+        small = flops.layer_counts(_model(hidden=8192, seq_len=1024), TP8)
+        large = flops.layer_counts(_model(hidden=16384, seq_len=1024), TP8)
+        ratio = large.ops_per_serialized_byte / small.ops_per_serialized_byte
+        assert ratio == pytest.approx(2.0, rel=0.15)
+
+    def test_slack_ratio_matches_equation_9_scaling(self):
+        # Slack ~ SL * B: doubling batch doubles ops per overlapped byte.
+        base = flops.layer_counts(_model(batch=1), TP8_DP4)
+        doubled = flops.layer_counts(_model(batch=2), TP8_DP4)
+        assert doubled.ops_per_overlapped_byte == pytest.approx(
+            2 * base.ops_per_overlapped_byte, rel=1e-9
+        )
+
+    def test_infinite_ratios_without_communication(self):
+        counts = flops.layer_counts(_model(), ParallelConfig())
+        assert counts.ops_per_serialized_byte == float("inf")
+        assert counts.ops_per_overlapped_byte == float("inf")
+
+    @given(hidden=_pow2, seq_len=_pow2, tp=st.sampled_from([2, 4, 8, 16]))
+    def test_compute_has_algorithmic_edge(self, hidden, seq_len, tp):
+        # (H + SL) > TP for all practical configs => ops/byte > 1.
+        model = _model(hidden=hidden, seq_len=seq_len)
+        counts = flops.layer_counts(model, ParallelConfig(tp=tp, dp=2))
+        assert counts.ops_per_serialized_byte > 1.0

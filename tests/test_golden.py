@@ -1,0 +1,74 @@
+"""Golden regression tests: pin the calibrated simulator's outputs.
+
+The simulator is fully deterministic (jitter is hash-keyed, no RNG
+state), so key values can be pinned exactly.  These tests exist to catch
+*unintentional calibration drift*: EXPERIMENTS.md documents the measured
+numbers against the paper, and any change to the timing models that moves
+them must be deliberate -- update the constants here and the tables there
+together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig, Precision
+from repro.hardware import collectives
+from repro.hardware.cluster import mi210_node
+from repro.hardware.gemm import DEFAULT_GEMM_MODEL, GemmShape
+from repro.hardware.specs import MI210
+from repro.models.trace import layer_trace
+from repro.sim.executor import execute_trace
+
+#: Tolerance for pinned values: loose enough for cross-platform floating
+#: point, tight enough that any model change trips it.
+REL = 1e-6
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return mi210_node()
+
+
+class TestGoldenOperatorTimes:
+    def test_reference_gemm_time(self):
+        shape = GemmShape(m=2048, n=4096, k=1024)
+        t = DEFAULT_GEMM_MODEL.time(shape, MI210, Precision.FP16)
+        assert t == pytest.approx(1.2717892950414014e-4, rel=REL)
+
+    def test_reference_allreduce_time(self, cluster):
+        t = collectives.all_reduce_time(64 * 2**20, 4, cluster.intra_link,
+                                        model=cluster.collective_model)
+        assert t == pytest.approx(6.72945907539035e-4, rel=REL)
+
+
+class TestGoldenFigureAnchors:
+    def test_fig10_tnlg_anchor(self, cluster):
+        # Figure 10 highlighted point: H=4K, SL=1K, TP=16.
+        model = ModelConfig(name="g", hidden=4096, seq_len=1024, batch=1,
+                            num_heads=32)
+        breakdown = execute_trace(
+            layer_trace(model, ParallelConfig(tp=16, dp=1)), cluster
+        ).breakdown
+        assert breakdown.serialized_comm_fraction == pytest.approx(
+            0.38522972287869833, rel=REL
+        )
+
+    def test_fig10_futuristic_anchor(self, cluster):
+        # Figure 10 highlighted point: H=64K, SL=4K, TP=256 (paper: ~50%).
+        model = ModelConfig(name="g", hidden=65536, seq_len=4096, batch=1,
+                            num_heads=256)
+        breakdown = execute_trace(
+            layer_trace(model, ParallelConfig(tp=256, dp=1)), cluster
+        ).breakdown
+        assert breakdown.serialized_comm_fraction == pytest.approx(
+            0.5151043573012193, rel=REL
+        )
+
+    def test_determinism_across_invocations(self, cluster):
+        model = ModelConfig(name="g", hidden=8192, seq_len=2048, batch=1,
+                            num_heads=64)
+        trace = layer_trace(model, ParallelConfig(tp=16, dp=4))
+        first = execute_trace(trace, cluster).breakdown
+        second = execute_trace(trace, cluster).breakdown
+        assert first == second

@@ -1,0 +1,100 @@
+"""Tests for repro.models.moe (Section 6.1.1 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.models.graph import CollectiveKind, CommGroup, CommOp, Phase
+from repro.models.moe import MoEConfig, moe_fc_forward_ops, moe_layer_trace
+from repro.models.trace import layer_trace
+from repro.sim.executor import execute_trace
+
+
+def _model() -> ModelConfig:
+    return ModelConfig(name="m", hidden=2048, seq_len=1024, batch=1,
+                       num_heads=16)
+
+
+PARALLEL = ParallelConfig(tp=4, dp=2, ep=8)
+MOE = MoEConfig(num_experts=8, top_k=2, capacity_factor=1.25)
+
+
+class TestMoEConfig:
+    def test_routed_tokens(self):
+        assert MOE.routed_tokens(1024) == int(1024 * 2 * 1.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_experts"):
+            MoEConfig(num_experts=1)
+        with pytest.raises(ValueError, match="top_k"):
+            MoEConfig(num_experts=4, top_k=5)
+        with pytest.raises(ValueError, match="capacity"):
+            MoEConfig(capacity_factor=0.5)
+
+
+class TestMoETrace:
+    def test_forward_has_dispatch_and_combine(self):
+        ops = moe_fc_forward_ops(_model(), PARALLEL, MOE)
+        a2a = [op for op in ops if isinstance(op, CommOp)
+               and op.collective is CollectiveKind.ALL_TO_ALL]
+        assert [op.name for op in a2a] == ["moe.dispatch", "moe.combine"]
+        assert all(op.group is CommGroup.EP for op in a2a)
+        assert all(not op.overlappable for op in a2a)
+
+    def test_four_all_to_alls_per_layer(self):
+        trace = moe_layer_trace(_model(), PARALLEL, MOE)
+        a2a = [op for op in trace if isinstance(op, CommOp)
+               and op.collective is CollectiveKind.ALL_TO_ALL]
+        assert len(a2a) == 4  # dispatch+combine, forward+backward
+
+    def test_keeps_tp_all_reduces(self):
+        trace = moe_layer_trace(_model(), PARALLEL, MOE)
+        ars = [op for op in trace if isinstance(op, CommOp)
+               and op.collective is CollectiveKind.ALL_REDUCE
+               and not op.overlappable]
+        assert len(ars) == 4  # attention fwd/bwd + moe fwd/bwd
+
+    def test_expert_grad_all_reduce_overlappable(self):
+        trace = moe_layer_trace(_model(), PARALLEL, MOE)
+        grads = [op for op in trace if isinstance(op, CommOp)
+                 and op.overlappable]
+        assert {op.name for op in grads} == {"moe.grad_ar",
+                                             "attention.grad_ar"}
+
+    def test_backward_mirrors_forward_gemms(self):
+        trace = moe_layer_trace(_model(), PARALLEL, MOE)
+        fwd_flops = sum(op.flops for op in trace.gemms()
+                        if op.phase is Phase.FORWARD)
+        bwd_flops = sum(op.flops for op in trace.gemms()
+                        if op.phase is Phase.BACKWARD)
+        assert bwd_flops == 2 * fwd_flops
+
+    def test_executes_on_testbed(self, cluster):
+        breakdown = execute_trace(moe_layer_trace(_model(), PARALLEL, MOE),
+                                  cluster).breakdown
+        assert breakdown.iteration_time > 0
+        assert breakdown.serialized_comm_time > 0
+
+    def test_moe_has_more_serialized_comm_than_dense(self, cluster):
+        # The Section 6.1.1 claim: expert parallelism raises the
+        # serialized-communication share.
+        dense = execute_trace(
+            layer_trace(_model(), ParallelConfig(tp=4, dp=2)), cluster
+        ).breakdown
+        moe = execute_trace(moe_layer_trace(_model(), PARALLEL, MOE),
+                            cluster).breakdown
+        assert moe.serialized_comm_fraction > dense.serialized_comm_fraction
+
+    def test_dispatch_bytes_scale_with_capacity(self):
+        light = moe_fc_forward_ops(_model(), PARALLEL,
+                                   MoEConfig(num_experts=8, top_k=1,
+                                             capacity_factor=1.0))
+        heavy = moe_fc_forward_ops(_model(), PARALLEL,
+                                   MoEConfig(num_experts=8, top_k=2,
+                                             capacity_factor=1.0))
+        light_bytes = next(op.nbytes for op in light
+                           if isinstance(op, CommOp))
+        heavy_bytes = next(op.nbytes for op in heavy
+                           if isinstance(op, CommOp))
+        assert heavy_bytes == 2 * light_bytes

@@ -1,0 +1,68 @@
+"""Tests for repro.hardware.network (links and saturation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.network import Link, effective_bandwidth
+
+
+class TestLinkValidation:
+    def test_rejects_non_positive_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            Link(bandwidth=0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError, match="latency"):
+            Link(bandwidth=1e9, latency=-1)
+
+    def test_rejects_non_positive_saturation(self):
+        with pytest.raises(ValueError, match="saturation"):
+            Link(bandwidth=1e9, saturation_half_bytes=0)
+
+
+class TestScaled:
+    def test_scales_bandwidth_only(self):
+        link = Link(bandwidth=100e9, latency=2e-6)
+        scaled = link.scaled(4.0)
+        assert scaled.bandwidth == pytest.approx(400e9)
+        assert scaled.latency == link.latency
+        assert scaled.saturation_half_bytes == link.saturation_half_bytes
+
+    def test_rejects_non_positive_factor(self):
+        with pytest.raises(ValueError, match="positive"):
+            Link(bandwidth=1e9).scaled(0)
+
+
+class TestEffectiveBandwidth:
+    def test_rejects_non_positive_message(self):
+        with pytest.raises(ValueError, match="positive"):
+            effective_bandwidth(Link(bandwidth=1e9), 0)
+
+    def test_half_point(self):
+        link = Link(bandwidth=100e9, saturation_half_bytes=1e6)
+        assert effective_bandwidth(link, 1e6) == pytest.approx(50e9)
+
+    def test_large_messages_approach_peak(self):
+        link = Link(bandwidth=100e9, saturation_half_bytes=1e6)
+        assert effective_bandwidth(link, 1e9) > 0.99 * link.bandwidth
+
+    def test_small_messages_heavily_penalized(self):
+        link = Link(bandwidth=100e9, saturation_half_bytes=1e6)
+        assert effective_bandwidth(link, 1e4) < 0.02 * link.bandwidth
+
+    @given(nbytes=st.floats(min_value=1.0, max_value=1e12))
+    @settings(max_examples=50)
+    def test_never_exceeds_peak(self, nbytes):
+        link = Link(bandwidth=100e9)
+        assert 0 < effective_bandwidth(link, nbytes) < link.bandwidth
+
+    @given(small=st.floats(min_value=1.0, max_value=1e9))
+    @settings(max_examples=30)
+    def test_monotone_in_size(self, small):
+        link = Link(bandwidth=100e9)
+        assert effective_bandwidth(link, small * 2) > effective_bandwidth(
+            link, small
+        )

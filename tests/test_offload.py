@@ -1,0 +1,93 @@
+"""Tests for repro.hardware.hostlink and repro.models.offload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.hardware.hostlink import (
+    PCIE_GEN4_X16,
+    PCIE_GEN5_X16,
+    transfer_time,
+)
+from repro.models.offload import OffloadEstimate, estimate_offload
+
+
+def _model(batch=4) -> ModelConfig:
+    return ModelConfig(name="m", hidden=4096, seq_len=1024, batch=batch,
+                       num_layers=2, num_heads=32)
+
+
+PARALLEL = ParallelConfig(tp=4, dp=1)
+
+
+class TestHostLink:
+    def test_transfer_time_positive_and_monotone(self):
+        small = transfer_time(PCIE_GEN4_X16.d2h, 1 << 20)
+        large = transfer_time(PCIE_GEN4_X16.d2h, 1 << 28)
+        assert 0 < small < large
+
+    def test_gen5_faster_than_gen4(self):
+        nbytes = 1 << 28
+        assert transfer_time(PCIE_GEN5_X16.d2h, nbytes) < transfer_time(
+            PCIE_GEN4_X16.d2h, nbytes
+        )
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            transfer_time(PCIE_GEN4_X16.d2h, 0)
+
+    def test_host_links_much_slower_than_device_interconnect(self):
+        # The premise of Section 6.1.3: the host channel is the bottleneck.
+        assert PCIE_GEN4_X16.d2h.bandwidth < 150e9 / 4
+
+
+class TestOffloadEstimate:
+    def test_memory_saved_is_optimizer_share(self, cluster):
+        estimate = estimate_offload(_model(), PARALLEL, cluster)
+        # Mixed-precision Adam: optimizer is 12 of 16 bytes/param; with
+        # activations the saved share is below 0.75 but substantial.
+        assert 0.2 < estimate.memory_saved_fraction < 0.75
+
+    def test_host_traffic_scales_with_layers(self, cluster):
+        two = estimate_offload(_model(), PARALLEL, cluster)
+        four_layer = ModelConfig(name="m4", hidden=4096, seq_len=1024,
+                                 batch=4, num_layers=4, num_heads=32)
+        four = estimate_offload(four_layer, PARALLEL, cluster)
+        assert four.host_traffic_time == pytest.approx(
+            2 * two.host_traffic_time, rel=0.01
+        )
+
+    def test_small_batches_expose_host_work(self, cluster):
+        exposed = estimate_offload(_model(batch=1), PARALLEL, cluster)
+        hidden = estimate_offload(_model(batch=32), PARALLEL, cluster)
+        assert not exposed.host_work_hidden
+        assert hidden.host_work_hidden
+        assert exposed.slowdown > hidden.slowdown == pytest.approx(1.0)
+
+    def test_faster_link_reduces_slowdown(self, cluster):
+        gen4 = estimate_offload(_model(batch=1), PARALLEL, cluster,
+                                host_link=PCIE_GEN4_X16)
+        gen5 = estimate_offload(_model(batch=1), PARALLEL, cluster,
+                                host_link=PCIE_GEN5_X16)
+        assert gen5.slowdown < gen4.slowdown
+
+    def test_cpu_throughput_validation(self, cluster):
+        with pytest.raises(ValueError, match="cpu_adam"):
+            estimate_offload(_model(), PARALLEL, cluster,
+                             cpu_adam_params_per_s=0)
+
+    def test_offloaded_never_faster_than_plain(self, cluster):
+        estimate = estimate_offload(_model(), PARALLEL, cluster)
+        assert estimate.iteration_time_offloaded >= (
+            estimate.iteration_time_plain
+        )
+
+    def test_zero_division_guards(self):
+        estimate = OffloadEstimate(
+            device_memory_plain=0, device_memory_offloaded=0,
+            iteration_time_plain=0.0, host_traffic_time=0.0,
+            cpu_step_time=0.0, iteration_time_offloaded=0.0,
+        )
+        assert estimate.memory_saved_fraction == 0.0
+        assert estimate.slowdown == 1.0

@@ -1,0 +1,171 @@
+"""Tests for repro.core.projection (operator-level models, Step 2b)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import projection
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.models.graph import CollectiveKind
+from repro.models.trace import layer_trace
+from repro.sim.executor import execute_trace, op_duration
+
+
+@pytest.fixture(scope="module")
+def suite(cluster=None):
+    from repro.hardware.cluster import mi210_node
+    return projection.fit_operator_models(mi210_node())
+
+
+def _target_trace(hidden=2048, seq_len=1024, batch=4, tp=1, dp=1):
+    model = ModelConfig(name="t", hidden=hidden, seq_len=seq_len,
+                        batch=batch, num_heads=16)
+    return layer_trace(model, ParallelConfig(tp=tp, dp=dp))
+
+
+class TestCollectiveReference:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            projection.CollectiveReference(
+                collective=CollectiveKind.ALL_REDUCE, nbytes=0,
+                group_size=4, time=1.0,
+            )
+        with pytest.raises(ValueError):
+            projection.CollectiveReference(
+                collective=CollectiveKind.ALL_REDUCE, nbytes=1024,
+                group_size=1, time=1.0,
+            )
+
+    def test_linear_in_bytes(self):
+        ref = projection.CollectiveReference(
+            collective=CollectiveKind.ALL_REDUCE, nbytes=1 << 20,
+            group_size=4, time=1e-3,
+        )
+        assert ref.project(1 << 22, 4) == pytest.approx(4e-3)
+
+    def test_ring_factor_adjustment(self):
+        ref = projection.CollectiveReference(
+            collective=CollectiveKind.ALL_REDUCE, nbytes=1 << 20,
+            group_size=4, time=1e-3,
+        )
+        # (N-1)/N: from 3/4 at the reference to 7/8 at 8 devices.
+        assert ref.project(1 << 20, 8) == pytest.approx(
+            1e-3 * (7 / 8) / (3 / 4)
+        )
+
+    def test_unit_group_is_free(self):
+        ref = projection.CollectiveReference(
+            collective=CollectiveKind.ALL_REDUCE, nbytes=1 << 20,
+            group_size=4, time=1e-3,
+        )
+        assert ref.project(1 << 20, 1) == 0.0
+
+
+class TestFitting:
+    def test_suite_covers_all_layer_operator_names(self, suite):
+        trace = _target_trace()
+        for op in trace.ops:
+            duration = suite.project_op(op, trace)
+            assert duration >= 0
+
+    def test_baseline_cost_positive(self, suite):
+        assert suite.baseline_cost > 0
+
+    def test_references_for_all_collectives(self, suite):
+        for kind in (CollectiveKind.ALL_REDUCE, CollectiveKind.ALL_TO_ALL,
+                     CollectiveKind.REDUCE_SCATTER,
+                     CollectiveKind.ALL_GATHER):
+            assert kind in suite.collective_references
+
+    def test_unknown_op_name_raises(self, suite):
+        from repro.hardware.gemm import GemmShape
+        from repro.models.graph import GemmOp, Phase, SubLayer
+        alien = GemmOp(name="alien.op", shape=GemmShape(m=8, n=8, k=8),
+                       phase=Phase.FORWARD, sublayer=SubLayer.OTHER)
+        with pytest.raises(KeyError, match="alien.op"):
+            suite.project_op(alien, _target_trace())
+
+
+class TestProjectionLaws:
+    def test_projection_exact_at_baseline(self, suite):
+        # Projecting the baseline shapes themselves reproduces the
+        # measured times exactly (ratio 1 scaling).
+        base_trace = layer_trace(suite.baseline_model, ParallelConfig(1, 1))
+        from repro.hardware.cluster import mi210_node
+        cluster = mi210_node()
+        for op in base_trace.ops:
+            if op.is_compute:
+                assert suite.project_op(op, base_trace) == pytest.approx(
+                    op_duration(op, base_trace, cluster)
+                )
+
+    def test_gemm_projection_linear_in_batch(self, suite):
+        small = _target_trace(batch=2)
+        large = _target_trace(batch=8)
+        for op_s, op_l in zip(small.gemms(), large.gemms()):
+            assert suite.project_op(op_l, large) == pytest.approx(
+                4 * suite.project_op(op_s, small)
+            )
+
+    def test_elementwise_projection_linear_in_elements(self, suite):
+        # LayerNorm elements scale with SL; softmax with SL^2 -- the
+        # projection must track each op's own element ratio exactly.
+        small = _target_trace(seq_len=512)
+        large = _target_trace(seq_len=2048)
+        for op_s, op_l in zip(small.elementwise(), large.elementwise()):
+            ratio = op_l.elements / op_s.elements
+            assert suite.project_op(op_l, large) == pytest.approx(
+                ratio * suite.project_op(op_s, small)
+            )
+
+    def test_projected_execution_has_breakdown(self, suite):
+        trace = _target_trace(tp=4, dp=4)
+        result = suite.project_execution(trace)
+        assert result.breakdown.iteration_time > 0
+        assert result.breakdown.serialized_comm_time > 0
+        assert result.breakdown.overlapped_comm_time > 0
+
+
+class TestAccuracy:
+    def test_errors_small_on_paper_sweeps(self, suite):
+        from repro.hardware.cluster import mi210_node
+        cluster = mi210_node()
+        traces = [_target_trace(seq_len=sl)
+                  for sl in (256, 1024, 2048, 4096)]
+        stats = projection.error_stats(
+            projection.projection_errors(suite, traces, cluster,
+                                         op_filter="weight-gemm")
+        )
+        assert stats.geomean_abs < 0.25  # paper: ~15%
+
+    def test_projection_fraction_close_to_ground_truth(self, suite):
+        from repro.hardware.cluster import mi210_node
+        cluster = mi210_node()
+        trace = _target_trace(hidden=4096, seq_len=1024, batch=1, tp=16)
+        projected = suite.project_execution(trace).breakdown
+        actual = execute_trace(trace, cluster).breakdown
+        assert projected.serialized_comm_fraction == pytest.approx(
+            actual.serialized_comm_fraction, abs=0.15
+        )
+
+
+class TestErrorStats:
+    def test_empty(self):
+        stats = projection.error_stats([])
+        assert stats.count == 0
+        assert stats.mean_abs == 0.0
+
+    def test_mean_and_max(self):
+        stats = projection.error_stats([0.1, -0.2, 0.3])
+        assert stats.mean_abs == pytest.approx(0.2)
+        assert stats.max_abs == pytest.approx(0.3)
+        assert stats.count == 3
+
+    def test_geomean_convention(self):
+        stats = projection.error_stats([0.1, 0.2])
+        expected = math.exp(
+            (math.log1p(0.1) + math.log1p(0.2)) / 2
+        ) - 1
+        assert stats.geomean_abs == pytest.approx(expected)

@@ -1,0 +1,46 @@
+"""Tests for repro.experiments.reportgen."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.reportgen import render_report, write_report
+
+
+def _result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="demo-1",
+        title="A demo table",
+        headers=("a", "b"),
+        rows=(("x", 1), ("y", 2)),
+        notes=("remember this",),
+    )
+
+
+class TestRender:
+    def test_section_structure(self):
+        text = render_report([_result()])
+        assert "# Comp-vs-Comm reproduction report" in text
+        assert "## demo-1 — A demo table" in text
+        assert "| a | b |" in text
+        assert "| x | 1 |" in text
+        assert "> remember this" in text
+
+    def test_counts_results(self):
+        text = render_report([_result(), _result()])
+        # Both sections render (duplicate ids are the caller's business).
+        assert text.count("## demo-1") == 2
+
+    def test_full_registry_renders(self):
+        # Smoke: all registered experiments produce valid sections.
+        text = render_report()
+        assert "## figure-10" in text
+        assert "## validation-laws" in text
+
+
+class TestWrite:
+    def test_writes_file(self, tmp_path, monkeypatch):
+        import repro.experiments.reportgen as reportgen
+        monkeypatch.setattr(reportgen, "run_all", lambda: [_result()])
+        target = write_report(tmp_path / "REPORT.md")
+        assert target.exists()
+        assert "demo-1" in target.read_text()

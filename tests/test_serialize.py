@@ -1,0 +1,126 @@
+"""Tests for repro.sim.serialize (JSON round-trips)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig, Precision
+from repro.models.moe import MoEConfig, moe_layer_trace
+from repro.models.trace import layer_trace, training_trace
+from repro.sim import serialize
+from repro.sim.executor import execute_trace
+from repro.sim.profiler import profile_trace
+
+
+def _model() -> ModelConfig:
+    return ModelConfig(name="ser", hidden=1024, seq_len=512, batch=2,
+                       num_layers=2, num_heads=16,
+                       precision=Precision.BF16, year=2024)
+
+
+PARALLEL = ParallelConfig(tp=4, dp=2, pp=1, ep=1)
+
+
+class TestConfigRoundTrips:
+    def test_model(self):
+        model = _model()
+        assert serialize.model_from_dict(
+            serialize.model_to_dict(model)
+        ) == model
+
+    def test_parallel(self):
+        assert serialize.parallel_from_dict(
+            serialize.parallel_to_dict(PARALLEL)
+        ) == PARALLEL
+
+
+class TestTraceRoundTrips:
+    def test_training_trace(self):
+        trace = training_trace(_model(), PARALLEL)
+        restored = serialize.trace_from_dict(serialize.trace_to_dict(trace))
+        assert restored == trace
+
+    def test_moe_trace(self):
+        model = _model()
+        parallel = ParallelConfig(tp=4, dp=2, ep=8)
+        trace = moe_layer_trace(model, parallel, MoEConfig(num_experts=8))
+        restored = serialize.trace_from_dict(serialize.trace_to_dict(trace))
+        assert restored == trace
+
+    def test_restored_trace_executes_identically(self, cluster):
+        trace = layer_trace(_model(), PARALLEL)
+        restored = serialize.trace_from_dict(serialize.trace_to_dict(trace))
+        assert execute_trace(restored, cluster).breakdown == (
+            execute_trace(trace, cluster).breakdown
+        )
+
+    def test_dict_is_json_serializable(self):
+        trace = layer_trace(_model(), PARALLEL)
+        json.dumps(serialize.trace_to_dict(trace))
+
+    def test_unknown_op_type_rejected(self):
+        trace = layer_trace(_model(), PARALLEL)
+        data = serialize.trace_to_dict(trace)
+        data["ops"][0]["type"] = "alien"
+        with pytest.raises(ValueError, match="alien"):
+            serialize.trace_from_dict(data)
+
+
+class TestProfileAndBreakdown:
+    def test_profile_round_trip(self, cluster):
+        profile = profile_trace(layer_trace(_model(), PARALLEL), cluster)
+        restored = serialize.profile_from_dict(
+            serialize.profile_to_dict(profile)
+        )
+        assert restored == profile
+        assert restored.total_time == profile.total_time
+
+    def test_breakdown_round_trip(self, cluster):
+        breakdown = execute_trace(layer_trace(_model(), PARALLEL),
+                                  cluster).breakdown
+        restored = serialize.breakdown_from_dict(
+            serialize.breakdown_to_dict(breakdown)
+        )
+        assert restored == breakdown
+
+
+class TestSuiteRoundTrip:
+    def test_projections_identical_after_round_trip(self, cluster):
+        import json
+
+        from repro.core import projection
+        suite = projection.fit_operator_models(cluster)
+        data = json.loads(json.dumps(serialize.suite_to_dict(suite)))
+        restored = serialize.suite_from_dict(data)
+        trace = layer_trace(_model(), PARALLEL)
+        assert restored.project_durations(trace) == (
+            suite.project_durations(trace)
+        )
+        assert restored.baseline_cost == suite.baseline_cost
+
+    def test_saved_suite_projects_without_a_testbed(self, tmp_path,
+                                                    cluster):
+        # The paper's workflow: profile once, persist, project later.
+        from repro.core import projection
+        suite = projection.fit_operator_models(cluster)
+        target = tmp_path / "suite.json"
+        serialize.save_json(serialize.suite_to_dict(suite), target)
+        restored = serialize.suite_from_dict(serialize.load_json(target))
+        trace = layer_trace(_model(), PARALLEL)
+        result = restored.project_execution(trace)
+        assert result.breakdown.iteration_time > 0
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path, cluster):
+        trace = layer_trace(_model(), PARALLEL)
+        target = tmp_path / "trace.json"
+        serialize.save_json(serialize.trace_to_dict(trace), target)
+        restored = serialize.trace_from_dict(serialize.load_json(target))
+        assert restored == trace
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            serialize.load_json(tmp_path / "missing.json")

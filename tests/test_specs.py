@@ -1,0 +1,114 @@
+"""Tests for repro.hardware.specs (device catalog)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hyperparams import Precision
+from repro.hardware import specs
+
+
+class TestCatalog:
+    def test_testbed_device(self):
+        mi210 = specs.MI210
+        assert mi210.flops(Precision.FP16) == pytest.approx(181e12)
+        assert mi210.mem_capacity == pytest.approx(64e9)
+        assert mi210.ring_allreduce_bw == pytest.approx(150e9)
+        assert mi210.link_bw == pytest.approx(100e9)
+
+    def test_get_device_known(self):
+        assert specs.get_device("A100").name == "A100"
+
+    def test_get_device_unknown_lists_names(self):
+        with pytest.raises(KeyError, match="MI210"):
+            specs.get_device("TPUv4")
+
+    def test_fp16_rate_at_least_fp32(self):
+        for device in specs.DEVICE_CATALOG.values():
+            assert device.flops(Precision.FP16) >= device.flops(
+                Precision.FP32
+            )
+
+    def test_unrated_precision_raises(self):
+        with pytest.raises(KeyError, match="fp8"):
+            specs.MI210.flops(Precision.FP8)
+
+    def test_h100_has_fp8(self):
+        assert specs.get_device("H100").flops(Precision.FP8) > 0
+
+
+class TestValidation:
+    def test_rejects_empty_flops(self):
+        with pytest.raises(ValueError, match="peak_flops"):
+            specs.DeviceSpec(name="x", year=2020, peak_flops={},
+                             mem_bw=1e12, mem_capacity=1e9, link_bw=1e11,
+                             ring_allreduce_bw=1e11)
+
+    @pytest.mark.parametrize("field", ["mem_bw", "mem_capacity", "link_bw",
+                                       "ring_allreduce_bw"])
+    def test_rejects_non_positive_rates(self, field):
+        params = dict(name="x", year=2020,
+                      peak_flops={Precision.FP16: 1e14},
+                      mem_bw=1e12, mem_capacity=1e9, link_bw=1e11,
+                      ring_allreduce_bw=1e11)
+        params[field] = 0.0
+        with pytest.raises(ValueError, match=field):
+            specs.DeviceSpec(**params)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError, match="efficiency"):
+            specs.MI210.scaled(1.0)  # sanity: scaled() itself is fine
+            specs.DeviceSpec(
+                name="x", year=2020, peak_flops={Precision.FP16: 1e14},
+                mem_bw=1e12, mem_capacity=1e9, link_bw=1e11,
+                ring_allreduce_bw=1e11, peak_compute_efficiency=1.5,
+            )
+
+
+class TestScaled:
+    def test_compute_scaling(self):
+        scaled = specs.MI210.scaled(compute_scale=4.0)
+        assert scaled.flops(Precision.FP16) == pytest.approx(4 * 181e12)
+        assert scaled.link_bw == specs.MI210.link_bw
+
+    def test_network_scaling(self):
+        scaled = specs.MI210.scaled(network_scale=2.0)
+        assert scaled.ring_allreduce_bw == pytest.approx(300e9)
+        assert scaled.flops(Precision.FP16) == specs.MI210.flops(
+            Precision.FP16
+        )
+
+    def test_memory_scaling(self):
+        scaled = specs.MI210.scaled(memory_bw_scale=2.0,
+                                    memory_capacity_scale=2.0)
+        assert scaled.mem_bw == pytest.approx(2 * specs.MI210.mem_bw)
+        assert scaled.mem_capacity == pytest.approx(128e9)
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError, match="positive"):
+            specs.MI210.scaled(compute_scale=0.0)
+
+    def test_generated_name_mentions_scales(self):
+        assert "4" in specs.MI210.scaled(compute_scale=4.0).name
+
+    def test_explicit_name(self):
+        assert specs.MI210.scaled(2.0, name="future").name == "future"
+
+
+class TestFlopVsBw:
+    def test_nvidia_generation_ratio(self):
+        # V100 -> A100: ~5x compute vs ~2x network (Section 4.3.6).
+        ratio = specs.flop_vs_bw_ratio(specs.get_device("V100"),
+                                       specs.get_device("A100"))
+        assert 2.0 <= ratio <= 3.0
+
+    def test_amd_generation_ratio(self):
+        # MI50 -> MI100: ~7x compute vs ~1.8x network.
+        ratio = specs.flop_vs_bw_ratio(specs.get_device("MI50"),
+                                       specs.get_device("MI100"))
+        assert 3.0 <= ratio <= 4.5
+
+    def test_identity(self):
+        assert specs.flop_vs_bw_ratio(specs.MI210, specs.MI210) == (
+            pytest.approx(1.0)
+        )

@@ -1,0 +1,103 @@
+"""Tests for repro.models.stats (roofline analytics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig, Precision
+from repro.hardware.gemm import GemmShape
+from repro.hardware.specs import MI210
+from repro.models.graph import (
+    CollectiveKind,
+    CommGroup,
+    CommOp,
+    ElementwiseOp,
+    GemmOp,
+    Phase,
+    SubLayer,
+)
+from repro.models.stats import (
+    arithmetic_intensity,
+    ridge_intensity,
+    roofline_census,
+)
+from repro.models.trace import layer_trace
+
+
+def _gemm(m=4096, n=4096, k=4096) -> GemmOp:
+    return GemmOp(name="g", shape=GemmShape(m=m, n=n, k=k),
+                  phase=Phase.FORWARD, sublayer=SubLayer.FC)
+
+
+class TestIntensity:
+    def test_square_gemm_intensity(self):
+        # 2mnk flops over 2*(mk+kn+mn) bytes: for cubes, n/3 flops/byte.
+        op = _gemm(4096, 4096, 4096)
+        expected = (2 * 4096 ** 3) / (2 * 3 * 4096 ** 2)
+        assert arithmetic_intensity(op, Precision.FP16) == pytest.approx(
+            expected
+        )
+
+    def test_elementwise_intensity_below_one(self):
+        op = ElementwiseOp(name="e", elements=1024, phase=Phase.FORWARD,
+                           sublayer=SubLayer.FC, rw_factor=3.0)
+        assert arithmetic_intensity(op, Precision.FP16) < 1.0
+
+    def test_comm_ops_rejected(self):
+        op = CommOp(name="c", collective=CollectiveKind.ALL_REDUCE,
+                    nbytes=1024, group=CommGroup.TP, phase=Phase.FORWARD,
+                    sublayer=SubLayer.FC, overlappable=False)
+        with pytest.raises(TypeError):
+            arithmetic_intensity(op, Precision.FP16)
+
+    def test_ridge_point(self):
+        ridge = ridge_intensity(MI210, Precision.FP16)
+        assert ridge == pytest.approx(181e12 / 1600e9)
+
+    def test_gemv_is_memory_bound(self):
+        gemv = _gemm(m=1, n=8192, k=8192)
+        assert arithmetic_intensity(gemv, Precision.FP16) < (
+            ridge_intensity(MI210)
+        )
+
+    def test_large_gemm_is_compute_bound(self):
+        assert arithmetic_intensity(_gemm(), Precision.FP16) > (
+            ridge_intensity(MI210)
+        )
+
+
+class TestCensus:
+    def test_training_gemm_flops_mostly_compute_bound(self, cluster):
+        # The Section 4.2.3 premise, on a representative configuration.
+        model = ModelConfig(name="m", hidden=8192, seq_len=2048, batch=1,
+                            num_heads=64)
+        trace = layer_trace(model, ParallelConfig(tp=16, dp=1))
+        census = roofline_census(trace, cluster)
+        assert census.compute_bound_flop_fraction > 0.9
+        assert census.gemm_count == 18
+
+    def test_decode_is_memory_bound(self, cluster):
+        from repro.models.inference import decode_step_trace
+        model = ModelConfig(name="m", hidden=8192, seq_len=2048, batch=1,
+                            num_layers=2, num_heads=64)
+        trace = decode_step_trace(model, ParallelConfig(tp=8), 2048)
+        census = roofline_census(trace, cluster)
+        assert census.compute_bound_flop_fraction < 0.1
+        assert census.compute_bound_time_fraction < 0.1
+
+    def test_time_partition_sums_to_compute_time(self, cluster):
+        from repro.sim.executor import execute_trace
+        model = ModelConfig(name="m", hidden=4096, seq_len=1024, batch=1,
+                            num_heads=32)
+        trace = layer_trace(model, ParallelConfig(tp=8, dp=2))
+        census = roofline_census(trace, cluster)
+        breakdown = execute_trace(trace, cluster).breakdown
+        assert census.compute_bound_time + census.memory_bound_time == (
+            pytest.approx(breakdown.compute_time)
+        )
+
+    def test_empty_fractions(self):
+        from repro.models.stats import OperatorCensus
+        empty = OperatorCensus(0.0, 0.0, 0, 0, 0, 0)
+        assert empty.compute_bound_time_fraction == 0.0
+        assert empty.compute_bound_flop_fraction == 0.0

@@ -1,0 +1,88 @@
+"""Tests for repro.core.strategy (Table 3 sweep, profiling costs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import projection, strategy
+from repro.core.strategy import TABLE3_SWEEP, SweepSpec, sweep_num_heads
+
+
+class TestSweepSpec:
+    def test_table3_dimensions(self):
+        assert TABLE3_SWEEP.hidden == (1024, 2048, 4096, 8192, 16384,
+                                       32768, 65536)
+        assert TABLE3_SWEEP.batch == (1, 4)
+        assert TABLE3_SWEEP.seq_len == (1024, 2048, 4096, 8192)
+        assert TABLE3_SWEEP.tp == (4, 8, 16, 32, 64, 128, 256)
+
+    def test_size(self):
+        assert TABLE3_SWEEP.size() == 7 * 2 * 4 * 7
+
+    def test_serialized_sweep_has_196_configs(self):
+        # The paper's ~196/198 projected configurations.
+        assert sum(1 for _ in TABLE3_SWEEP.configs(batch=1)) == 196
+
+    def test_configs_are_valid_setups(self):
+        from repro.core.hyperparams import validate_model_parallel
+        for model, parallel in TABLE3_SWEEP.configs(batch=1):
+            validate_model_parallel(model, parallel)
+
+    def test_rejects_empty_dimension(self):
+        with pytest.raises(ValueError, match="hidden"):
+            SweepSpec(hidden=(), batch=(1,), seq_len=(1024,), tp=(4,))
+
+    def test_rejects_non_positive_values(self):
+        with pytest.raises(ValueError, match="positive"):
+            SweepSpec(hidden=(0,), batch=(1,), seq_len=(1024,), tp=(4,))
+
+
+class TestSweepNumHeads:
+    def test_targets_head_dim_128(self):
+        assert sweep_num_heads(16384, 4) == 128
+
+    def test_clamped_by_tp(self):
+        assert sweep_num_heads(1024, 256) == 256
+
+    def test_divisibility(self):
+        for hidden in TABLE3_SWEEP.hidden:
+            for tp in TABLE3_SWEEP.tp:
+                heads = sweep_num_heads(hidden, tp)
+                assert hidden % heads == 0
+                assert heads % tp == 0
+
+
+class TestProfilingCostReport:
+    @pytest.fixture(scope="class")
+    def report(self, cluster):
+        suite = projection.fit_operator_models(cluster)
+        small_sweep = SweepSpec(
+            hidden=(1024, 4096, 16384),
+            batch=(1,),
+            seq_len=(1024, 4096),
+            tp=(4, 16, 64),
+        )
+        return strategy.profiling_cost_report(suite, cluster,
+                                              sweep=small_sweep)
+
+    def test_projection_covers_everything(self, report):
+        assert report.configs_projected == report.configs_total
+
+    def test_feasibility_prunes_some_configs(self, report):
+        assert report.configs_feasible <= report.configs_total
+
+    def test_speedup_large(self, report):
+        # Even a small sweep yields orders-of-magnitude savings; the full
+        # Table 3 sweep reaches the paper's ~2100x scale (bench asserts
+        # that separately).
+        assert report.speedup > 50
+
+    def test_costs_positive(self, report):
+        assert report.exhaustive_cost > 0
+        assert report.strategy_cost > 0
+
+    def test_rejects_bad_iterations(self, cluster):
+        suite = projection.fit_operator_models(cluster)
+        with pytest.raises(ValueError, match="profile_iterations"):
+            strategy.profiling_cost_report(suite, cluster,
+                                           profile_iterations=0)

@@ -1,0 +1,74 @@
+"""Tests for repro.experiments.sweeps (shared figure-sweep helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evolution import HardwareScenario
+from repro.core.projection import fit_operator_models
+from repro.experiments import sweeps
+
+
+class TestDefinitions:
+    def test_three_model_lines(self):
+        assert [line.hidden for line in sweeps.SERIALIZED_LINES] == (
+            [4096, 16384, 65536]
+        )
+
+    def test_highlighted_configs_lie_on_lines(self):
+        line_hiddens = {line.hidden for line in sweeps.SERIALIZED_LINES}
+        for hidden, tp in sweeps.HIGHLIGHTED_CONFIGS:
+            assert hidden in line_hiddens
+            assert tp in sweeps.TP_DEGREES
+
+    def test_models_are_valid(self):
+        for line in sweeps.SERIALIZED_LINES:
+            for tp in sweeps.TP_DEGREES:
+                model = sweeps.serialized_model(line.hidden, line.seq_len,
+                                                tp)
+                assert model.num_heads % tp == 0
+                assert model.hidden % model.num_heads == 0
+
+
+class TestSerializedFraction:
+    def test_in_unit_interval(self, cluster):
+        fraction = sweeps.serialized_fraction(4096, 1024, 16, cluster)
+        assert 0 < fraction < 1
+
+    def test_scenario_scaling_raises_fraction(self, cluster):
+        base = sweeps.serialized_fraction(4096, 1024, 16, cluster)
+        scaled = sweeps.serialized_fraction(
+            4096, 1024, 16, cluster,
+            scenario=HardwareScenario(name="4x", compute_scale=4.0),
+        )
+        assert scaled > base
+
+    def test_projection_path_agrees_with_ground_truth(self, cluster):
+        suite = fit_operator_models(cluster)
+        truth = sweeps.serialized_fraction(4096, 1024, 16, cluster)
+        projected = sweeps.serialized_fraction(4096, 1024, 16, cluster,
+                                               suite=suite)
+        assert projected == pytest.approx(truth, abs=0.15)
+
+    def test_projection_with_scenario(self, cluster):
+        suite = fit_operator_models(cluster)
+        base = sweeps.serialized_fraction(65536, 4096, 64, cluster,
+                                          suite=suite)
+        scaled = sweeps.serialized_fraction(
+            65536, 4096, 64, cluster, suite=suite,
+            scenario=HardwareScenario(name="2x", compute_scale=2.0),
+        )
+        assert scaled > base
+
+
+class TestOverlapRatio:
+    def test_positive(self, cluster):
+        assert sweeps.overlap_ratio(4096, 4096, cluster) > 0
+
+    def test_scenario_multiplies_ratio(self, cluster):
+        base = sweeps.overlap_ratio(4096, 4096, cluster)
+        scaled = sweeps.overlap_ratio(
+            4096, 4096, cluster,
+            scenario=HardwareScenario(name="4x", compute_scale=4.0),
+        )
+        assert scaled == pytest.approx(4 * base)

@@ -1,0 +1,181 @@
+"""Tests for repro.models.trace, repro.models.memory, repro.models.sharding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.hardware.specs import MI210
+from repro.models import memory, sharding
+from repro.models.graph import CommOp, Phase
+from repro.models.trace import forward_trace, layer_trace, training_trace
+from repro.models.zoo import MODEL_ZOO
+
+
+def _model(layers=2, **kw) -> ModelConfig:
+    params = dict(name="m", hidden=1024, seq_len=512, batch=2,
+                  num_layers=layers, num_heads=16)
+    params.update(kw)
+    return ModelConfig(**params)
+
+
+TP4_DP2 = ParallelConfig(tp=4, dp=2)
+
+
+class TestTraceAssembly:
+    def test_training_trace_scales_with_layers(self):
+        one = training_trace(_model(layers=1), TP4_DP2)
+        three = training_trace(_model(layers=3), TP4_DP2)
+        assert len(three) == 3 * len(one)
+        assert three.total_gemm_flops() == 3 * one.total_gemm_flops()
+
+    def test_forward_trace_is_prefix_of_training(self):
+        fwd = forward_trace(_model(), TP4_DP2)
+        train = training_trace(_model(), TP4_DP2)
+        assert [op.name for op in fwd] == [
+            op.name for op in train.ops[:len(fwd)]
+        ]
+
+    def test_forward_trace_has_no_backward_ops(self):
+        fwd = forward_trace(_model(), TP4_DP2)
+        assert all(op.phase is Phase.FORWARD for op in fwd)
+
+    def test_backward_layers_in_reverse_order(self):
+        train = training_trace(_model(layers=3), TP4_DP2)
+        backward_layers = [op.layer for op in train
+                           if op.phase is Phase.BACKWARD]
+        assert backward_layers == sorted(backward_layers, reverse=True)
+
+    def test_layer_trace_is_single_layer(self):
+        trace = layer_trace(_model(layers=5), TP4_DP2)
+        assert {op.layer for op in trace} == {0}
+
+    def test_validates_setup(self):
+        with pytest.raises(ValueError, match="num_heads"):
+            training_trace(_model(num_heads=6), ParallelConfig(tp=4))
+
+    def test_one_dp_ar_pair_per_layer(self):
+        train = training_trace(_model(layers=4), TP4_DP2)
+        grads = [op for op in train if isinstance(op, CommOp)
+                 and op.overlappable]
+        assert len(grads) == 2 * 4  # attention + fc per layer
+
+
+class TestSharding:
+    def test_shard_dim(self):
+        assert sharding.shard_dim(1024, 4) == 256
+
+    def test_shard_dim_rejects_uneven(self):
+        with pytest.raises(ValueError, match="divisible"):
+            sharding.shard_dim(1000, 16, "ffn")
+
+    def test_shard_dim_rejects_bad_tp(self):
+        with pytest.raises(ValueError, match="tp"):
+            sharding.shard_dim(1024, 0)
+
+    def test_head_and_ffn_shards(self):
+        model = _model()
+        assert sharding.sharded_heads(model, TP4_DP2) == 4
+        assert sharding.sharded_ffn(model, TP4_DP2) == 1024
+        assert sharding.sharded_qkv_out(model, TP4_DP2) == 768
+
+    @pytest.mark.parametrize("stage,expected", [(0, 1.0), (1, 0.25),
+                                                (2, 0.25), (3, 0.25)])
+    def test_zero_fractions(self, stage, expected):
+        assert sharding.zero_optimizer_shard_fraction(4, stage) == expected
+
+    def test_zero_stage_validation(self):
+        with pytest.raises(ValueError, match="stage"):
+            sharding.zero_optimizer_shard_fraction(4, 5)
+
+    def test_zero_single_replica_keeps_everything(self):
+        assert sharding.zero_optimizer_shard_fraction(1, 3) == 1.0
+
+
+class TestMemoryFootprint:
+    def test_total_is_sum_of_parts(self):
+        footprint = memory.memory_footprint(_model(), TP4_DP2)
+        assert footprint.total == (footprint.params + footprint.gradients
+                                   + footprint.optimizer
+                                   + footprint.activations)
+
+    def test_optimizer_is_adam_sized(self):
+        footprint = memory.memory_footprint(_model(), TP4_DP2)
+        params = footprint.params // 2  # fp16 params -> param count
+        assert footprint.optimizer == params * (
+            memory.ADAM_OPTIMIZER_BYTES_PER_PARAM
+        )
+
+    def test_tp_shards_parameters(self):
+        dense = memory.memory_footprint(_model(), ParallelConfig())
+        sharded = memory.memory_footprint(_model(), ParallelConfig(tp=4))
+        assert sharded.params * 4 == dense.params
+
+    def test_pp_partitions_layers(self):
+        full = memory.memory_footprint(_model(layers=4), ParallelConfig())
+        staged = memory.memory_footprint(_model(layers=4),
+                                         ParallelConfig(pp=2))
+        assert staged.params * 2 == full.params
+
+    def test_checkpointing_shrinks_activations(self):
+        plain = memory.memory_footprint(_model(), TP4_DP2)
+        checkpointed = memory.memory_footprint(_model(), TP4_DP2,
+                                               checkpointing=True)
+        assert checkpointed.activations < plain.activations / 4
+
+    def test_zero_shards_optimizer(self):
+        replicated = memory.memory_footprint(_model(), TP4_DP2)
+        zeroed = memory.memory_footprint(_model(), TP4_DP2, zero_stage=1)
+        assert zeroed.optimizer * 2 == replicated.optimizer
+
+    @given(hidden=st.sampled_from([1024, 2048, 4096, 8192]))
+    @settings(max_examples=10)
+    def test_footprint_grows_quadratically_in_hidden(self, hidden):
+        small = memory.memory_footprint(_model(hidden=hidden),
+                                        ParallelConfig())
+        large = memory.memory_footprint(_model(hidden=2 * hidden),
+                                        ParallelConfig())
+        assert large.params == pytest.approx(4 * small.params, rel=0.01)
+
+    def test_total_gb(self):
+        footprint = memory.MemoryFootprint(params=int(1e9), gradients=0,
+                                           optimizer=0, activations=0)
+        assert footprint.total_gb == pytest.approx(1.0)
+
+
+class TestFitsAndMinTp:
+    def test_bert_fits_one_mi210(self):
+        bert = MODEL_ZOO["BERT"].with_inputs(batch=4)
+        assert memory.fits_on_device(bert, ParallelConfig(), MI210)
+
+    def test_gpt3_does_not_fit_one_device(self):
+        gpt3 = MODEL_ZOO["GPT-3"]
+        assert not memory.fits_on_device(gpt3, ParallelConfig(), MI210)
+
+    def test_min_tp_degree_finds_power_of_two(self):
+        big = _model(hidden=12288, layers=96, num_heads=512, seq_len=2048)
+        tp = memory.min_tp_degree(big, MI210)
+        assert tp & (tp - 1) == 0  # power of two
+        assert tp > 1
+        assert memory.fits_on_device(
+            big, ParallelConfig(tp=tp), MI210, checkpointing=True
+        )
+
+    def test_min_tp_degree_respects_head_divisibility(self):
+        # TP degrees that do not divide num_heads must be skipped, so a
+        # 96-head model can never get a TP above 32 (the largest pow2
+        # divisor of 96).
+        gpt3 = MODEL_ZOO["GPT-3"]
+        with pytest.raises(ValueError, match="does not fit"):
+            memory.min_tp_degree(gpt3, MI210, max_tp=4096)
+
+    def test_min_tp_degree_raises_when_impossible(self):
+        huge = _model(hidden=65536, layers=512, num_heads=64)
+        with pytest.raises(ValueError, match="does not fit"):
+            memory.min_tp_degree(huge, MI210, max_tp=2)
+
+    def test_headroom_validation(self):
+        with pytest.raises(ValueError, match="headroom"):
+            memory.fits_on_device(_model(), TP4_DP2, MI210, headroom=0.0)

@@ -1,0 +1,64 @@
+"""Tests for repro.core.validation (law fitting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import validation
+from repro.core.validation import LawFit, fit_through_origin
+
+
+class TestFitThroughOrigin:
+    def test_exact_law_gives_unit_r2(self):
+        points = [(x, 3.0 * x) for x in (1.0, 2.0, 5.0, 9.0)]
+        fit = fit_through_origin(points)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.count == 4
+
+    def test_noise_lowers_r2(self):
+        points = [(1.0, 3.1), (2.0, 5.7), (3.0, 9.4), (4.0, 11.5)]
+        fit = fit_through_origin(points)
+        assert 0.8 < fit.r_squared < 1.0
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError, match="two points"):
+            fit_through_origin([(1.0, 1.0)])
+
+    def test_rejects_zero_predictors(self):
+        with pytest.raises(ValueError, match="zero"):
+            fit_through_origin([(0.0, 1.0), (0.0, 2.0)])
+
+    def test_constant_target_r2_one_when_law_matches(self):
+        fit = fit_through_origin([(1.0, 0.0), (2.0, 0.0)])
+        assert fit.slope == 0.0
+        assert fit.r_squared == 1.0
+
+
+class TestLaws:
+    @pytest.fixture(scope="class")
+    def edge_fit(self, cluster) -> LawFit:
+        return validation.edge_law_fit(
+            cluster,
+            hiddens=(4096, 8192, 16384),
+            seq_lens=(1024, 2048),
+            tps=(8, 16, 32),
+        )
+
+    @pytest.fixture(scope="class")
+    def slack_fit(self, cluster) -> LawFit:
+        return validation.slack_law_fit(cluster)
+
+    def test_edge_law_holds(self, edge_fit):
+        # The measured serialized-comm/compute ratio follows TP/(H+SL)
+        # closely (Equation 6).
+        assert edge_fit.r_squared > 0.9
+        assert edge_fit.slope > 0
+
+    def test_slack_law_holds(self, slack_fit):
+        # The measured overlap ratio follows 1/(SL*B) (Equation 9).
+        assert slack_fit.r_squared > 0.9
+        assert slack_fit.slope > 0
+
+    def test_edge_observations_positive(self, edge_fit):
+        assert all(x > 0 and y > 0 for x, y in edge_fit.points)
