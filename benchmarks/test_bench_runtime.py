@@ -1,0 +1,75 @@
+"""Bench: the runtime session's caching and fit-amortization wins.
+
+Measures the tentpole claims directly: a warm ``run_all`` replays from
+the keyed result cache measurably faster than the cold run that
+populated it, suite fitting is amortized to one fit per (cluster,
+baseline) key no matter how many experiments ask, and cold/warm results
+are byte-identical.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import registry
+from repro.runtime import Session
+
+#: A representative slice of the registry: the heaviest suite-fitting
+#: experiments plus ground-truth sweep figures.
+_SUBSET = ("figure-10", "figure-11", "figure-15", "speedup-4.3.8",
+           "validation-projection")
+
+
+def test_bench_cold_run_all_subset(benchmark):
+    def cold():
+        return Session().run_all(experiment_ids=list(_SUBSET))
+
+    results = benchmark(cold)
+    assert [r.experiment_id for r in results] == list(_SUBSET)
+    assert all(r.meta.cache == "miss" for r in results)
+
+
+def test_bench_warm_run_all_subset(benchmark):
+    session = Session()
+    cold = session.run_all(experiment_ids=list(_SUBSET))
+
+    def warm():
+        return session.run_all(experiment_ids=list(_SUBSET))
+
+    results = benchmark(warm)
+    assert all(r.meta.cache == "hit" for r in results)
+    assert results == cold
+    assert [r.to_text() for r in results] == [r.to_text() for r in cold]
+
+
+def test_warm_run_all_faster_than_cold():
+    session = Session()
+    start = time.perf_counter()
+    cold = session.run_all()
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = session.run_all()
+    warm_s = time.perf_counter() - start
+
+    assert warm == cold
+    assert [r.experiment_id for r in warm] == list(registry.EXPERIMENTS)
+    # The whole registry replays from cache: demand at least 2x.
+    assert warm_s < cold_s / 2, (
+        f"warm {warm_s:.3f}s not faster than cold {cold_s:.3f}s"
+    )
+    # One fit per distinct (cluster, baseline) key across 35 experiments:
+    # the default BERT baseline plus ext_baseline's three ablations.
+    assert session.suite_fit_count == 4
+    assert all(count == 1 for count in session.suite_fits().values())
+
+
+def test_bench_suite_fit_amortization(benchmark):
+    def fit_many_times():
+        session = Session()
+        for _ in range(8):
+            session.suite()
+        return session
+
+    session = benchmark(fit_many_times)
+    assert session.suite_fit_count == 1

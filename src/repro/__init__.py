@@ -42,10 +42,11 @@ from repro.core.hyperparams import (
 )
 from repro.hardware.cluster import ClusterSpec, mi210_node, multi_node_cluster
 from repro.hardware.specs import DEVICE_CATALOG, MI210, DeviceSpec, get_device
+from repro.runtime import ResultCache, Session, get_session, set_session
 from repro.sim.breakdown import Breakdown
 from repro.sim.executor import execute_trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Breakdown",
@@ -57,9 +58,13 @@ __all__ = [
     "ModelConfig",
     "ParallelConfig",
     "Precision",
+    "ResultCache",
+    "Session",
     "__version__",
     "execute_trace",
     "get_device",
+    "get_session",
     "mi210_node",
     "multi_node_cluster",
+    "set_session",
 ]

@@ -1,16 +1,20 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows::
+Six subcommands cover the common workflows::
 
     python -m repro analyze --hidden 8192 --tp 16 --dp 8   # one config
     python -m repro experiment figure-10                   # reproduce art.
-    python -m repro experiment all                         # everything
-    python -m repro zoo                                     # Table 2
+    python -m repro experiment all --jobs 4                # everything
+    python -m repro zoo --format csv                        # Table 2
     python -m repro forecast --start 2023 --end 2027        # future models
+    python -m repro cache info                              # result cache
 
 ``analyze`` prints the Comp-vs-Comm breakdown of one configuration on the
 simulated MI210 testbed (optionally scaled to future hardware);
-``experiment`` regenerates any registered paper table/figure.
+``experiment`` regenerates any registered paper table/figure through the
+shared runtime session (memoized model fits, keyed result cache, and an
+optional ``--jobs`` thread pool); ``cache`` inspects or clears the
+on-disk result store.
 """
 
 from __future__ import annotations
@@ -78,14 +82,44 @@ def build_parser() -> argparse.ArgumentParser:
                             help="output format (default text)")
     experiment.add_argument("--output", "-o", default=None,
                             help="write to a file instead of stdout")
+    experiment.add_argument("--jobs", "-j", type=int, default=1,
+                            help="worker threads for 'all' (default 1; "
+                                 "output order is deterministic)")
+    experiment.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="persist the result cache under DIR "
+                                 "(default: in-memory only)")
+    experiment.add_argument("--no-cache", action="store_true",
+                            help="bypass the result cache entirely")
+    experiment.add_argument("--meta", action="store_true",
+                            help="append run metadata (wall time, cache "
+                                 "hit/miss, session fingerprint)")
 
-    subparsers.add_parser("zoo", help="print the Table 2 model zoo")
+    zoo = subparsers.add_parser("zoo", help="print the Table 2 model zoo")
+    zoo.add_argument("--format", choices=("text", "json", "csv"),
+                     default="text",
+                     help="output format (default text)")
+    zoo.add_argument("--output", "-o", default=None,
+                     help="write to a file instead of stdout")
 
     forecast = subparsers.add_parser(
         "forecast", help="synthesize and analyze future Transformers"
     )
     forecast.add_argument("--start", type=int, default=2023)
     forecast.add_argument("--end", type=int, default=2027)
+    forecast.add_argument("--format", choices=("text", "json", "csv"),
+                          default="text",
+                          help="output format (default text)")
+    forecast.add_argument("--output", "-o", default=None,
+                          help="write to a file instead of stdout")
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache.add_argument("action", choices=("info", "clear"),
+                       help="show cache contents or remove every entry")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory (default: ~/.cache/repro or "
+                            "$REPRO_CACHE_DIR)")
 
     plan = subparsers.add_parser(
         "plan", help="rank (TP, DP, PP) layouts for a device budget"
@@ -161,12 +195,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def _render(result, fmt: str) -> str:
+def _render(result, fmt: str, include_meta: bool = False) -> str:
     if fmt == "json":
-        return result.to_json()
+        return result.to_json(include_meta=include_meta)
     if fmt == "csv":
         return result.to_csv()
-    return result.to_text()
+    return result.to_text(include_meta=include_meta)
 
 
 def _emit(text: str, output: Optional[str]) -> None:
@@ -177,30 +211,48 @@ def _emit(text: str, output: Optional[str]) -> None:
         print(text)
 
 
+def _experiment_session(args: argparse.Namespace):
+    """The session an ``experiment`` invocation runs under.
+
+    A ``--cache-dir`` builds a dedicated session with a persistent
+    cache; otherwise the process-wide shared session (memory-only
+    cache, memoized suite fits) is used.
+    """
+    from repro.runtime.session import Session, get_session
+
+    if args.cache_dir:
+        return Session(cache_dir=args.cache_dir)
+    return get_session()
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import registry
 
     if args.id == "list":
         _emit("\n".join(registry.EXPERIMENTS), args.output)
         return 0
+    session = _experiment_session(args)
+    use_cache = not args.no_cache
     if args.id == "all":
-        rendered = [_render(result, args.format)
-                    for result in registry.run_all()]
+        results = session.run_all(jobs=args.jobs, use_cache=use_cache)
+        rendered = [_render(result, args.format, include_meta=args.meta)
+                    for result in results]
         _emit("\n\n".join(rendered), args.output)
         return 0
     try:
-        runner = registry.get_experiment(args.id)
+        result = session.run(args.id, use_cache=use_cache)
     except KeyError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    _emit(_render(runner(), args.format), args.output)
+    _emit(_render(result, args.format, include_meta=args.meta),
+          args.output)
     return 0
 
 
 def _cmd_zoo(args: argparse.Namespace) -> int:
     from repro.experiments import table2_zoo
 
-    print(table2_zoo.run().to_text())
+    _emit(_render(table2_zoo.run(), args.format), args.output)
     return 0
 
 
@@ -212,7 +264,24 @@ def _cmd_forecast(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    print(result.to_text())
+    _emit(_render(result, args.format), args.output)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runtime.cache import ResultCache, default_cache_dir
+
+    cache_dir = args.cache_dir or default_cache_dir()
+    cache = ResultCache(cache_dir=cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache_dir}")
+        return 0
+    info = cache.info()
+    print(f"cache dir:      {info['cache_dir']}")
+    print(f"cache version:  {info['version']}")
+    print(f"disk entries:   {info['disk_entries']}")
+    print(f"disk bytes:     {info['disk_bytes']}")
     return 0
 
 
@@ -261,6 +330,7 @@ _COMMANDS = {
     "zoo": _cmd_zoo,
     "forecast": _cmd_forecast,
     "plan": _cmd_plan,
+    "cache": _cmd_cache,
 }
 
 

@@ -1,5 +1,5 @@
 """Per-table/figure experiment harness (see DESIGN.md's experiment index)."""
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, RunMeta
 
-__all__ = ["ExperimentResult"]
+__all__ = ["ExperimentResult", "RunMeta"]

@@ -12,12 +12,41 @@ from __future__ import annotations
 import csv
 import io
 import json
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core import report
 
-__all__ = ["ExperimentResult"]
+__all__ = ["ExperimentResult", "RunMeta"]
+
+
+@dataclass(frozen=True)
+class RunMeta:
+    """How one ``ExperimentResult`` was produced by the runtime layer.
+
+    Attached by :class:`repro.runtime.Session` and excluded from result
+    equality, so a cache hit compares equal to the fresh run it replays.
+
+    Attributes:
+        wall_time_s: Wall-clock seconds spent producing (or replaying)
+            the result.
+        cache: ``"hit"``, ``"miss"``, or ``"off"``.
+        session: Fingerprint of the session (cluster + timing models +
+            cache version) that produced the result.
+    """
+
+    wall_time_s: float
+    cache: str
+    session: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"wall_time_s": self.wall_time_s, "cache": self.cache,
+                "session": self.session}
+
+    def describe(self) -> str:
+        """One-line human-readable form (the ``to_text`` meta line)."""
+        return (f"run: {self.wall_time_s * 1e3:.1f} ms "
+                f"(cache {self.cache}, session {self.session})")
 
 
 @dataclass(frozen=True)
@@ -30,6 +59,10 @@ class ExperimentResult:
         headers: Column names.
         rows: Data rows (tuples matching ``headers``).
         notes: Free-form annotations (paper-vs-measured commentary).
+        meta: Optional run metadata (wall time, cache hit/miss, session
+            fingerprint).  Never participates in equality and is omitted
+            from rendered output unless explicitly requested, so cached
+            and fresh results stay byte-identical.
     """
 
     experiment_id: str
@@ -37,6 +70,8 @@ class ExperimentResult:
     headers: Tuple[str, ...]
     rows: Tuple[Tuple[object, ...], ...]
     notes: Tuple[str, ...] = ()
+    meta: Optional[RunMeta] = field(default=None, compare=False,
+                                    repr=False)
 
     def __post_init__(self) -> None:
         for name in ("headers", "notes"):
@@ -48,12 +83,24 @@ class ExperimentResult:
                 tuple(row) for row in self.rows
             ))
 
-    def to_text(self) -> str:
-        """Render the result as an aligned text block."""
+    def with_meta(self, meta: Optional[RunMeta]) -> "ExperimentResult":
+        """A copy carrying (or clearing) run metadata."""
+        return replace(self, meta=meta)
+
+    def to_text(self, include_meta: bool = False) -> str:
+        """Render the result as an aligned text block.
+
+        Args:
+            include_meta: Append the run-metadata line (wall time, cache
+                status, session fingerprint) when metadata is present.
+                Off by default so repeated runs render identically.
+        """
         lines = [f"== {self.experiment_id}: {self.title} ==",
                  report.format_table(self.headers, self.rows)]
         for note in self.notes:
             lines.append(f"note: {note}")
+        if include_meta and self.meta is not None:
+            lines.append(self.meta.describe())
         return "\n".join(lines)
 
     def column(self, header: str) -> List[object]:
@@ -70,19 +117,44 @@ class ExperimentResult:
             ) from None
         return [row[index] for row in self.rows]
 
-    def to_dict(self) -> Dict[str, object]:
-        """Plain-data form (JSON-serializable)."""
-        return {
+    def to_dict(self, include_meta: bool = False) -> Dict[str, object]:
+        """Plain-data form (JSON-serializable).
+
+        Args:
+            include_meta: Add a ``"meta"`` entry when run metadata is
+                present.  Off by default so serialized results are
+                reproducible across cache hits and fresh runs.
+        """
+        data: Dict[str, object] = {
             "experiment_id": self.experiment_id,
             "title": self.title,
             "headers": list(self.headers),
             "rows": [list(row) for row in self.rows],
             "notes": list(self.notes),
         }
+        if include_meta and self.meta is not None:
+            data["meta"] = self.meta.to_dict()
+        return data
 
-    def to_json(self, indent: int = 2) -> str:
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (cache replay)."""
+        meta_data = data.get("meta")
+        meta = RunMeta(**meta_data) if isinstance(meta_data, Mapping) \
+            else None
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            headers=tuple(data["headers"]),
+            rows=tuple(tuple(row) for row in data["rows"]),
+            notes=tuple(data.get("notes", ())),
+            meta=meta,
+        )
+
+    def to_json(self, indent: int = 2, include_meta: bool = False) -> str:
         """Render the result as a JSON document."""
-        return json.dumps(self.to_dict(), indent=indent)
+        return json.dumps(self.to_dict(include_meta=include_meta),
+                          indent=indent)
 
     def to_csv(self) -> str:
         """Render the result as CSV (header row + data rows)."""

@@ -9,13 +9,16 @@ projection error over the same target sweep.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.core import projection
 from repro.core.hyperparams import ModelConfig, ParallelConfig
 from repro.experiments.base import ExperimentResult
-from repro.hardware.cluster import ClusterSpec, mi210_node
+from repro.hardware.cluster import ClusterSpec
 from repro.models.trace import layer_trace
+
+if TYPE_CHECKING:
+    from repro.runtime.session import Session
 
 __all__ = ["run", "main", "BASELINES"]
 
@@ -33,9 +36,13 @@ BASELINES: Tuple[ModelConfig, ...] = (
 _TARGET_HIDDENS = (2048, 4096, 8192, 16384)
 
 
-def run(cluster: Optional[ClusterSpec] = None) -> ExperimentResult:
+def run(cluster: Optional[ClusterSpec] = None,
+        session: Optional["Session"] = None) -> ExperimentResult:
     """Projection error vs baseline size."""
-    cluster = cluster or mi210_node()
+    from repro.runtime.session import resolve_session
+
+    session = resolve_session(session)
+    cluster = cluster or session.cluster
     targets = [
         layer_trace(
             ModelConfig(name=f"t{h}", hidden=h, seq_len=1024, batch=4,
@@ -46,8 +53,7 @@ def run(cluster: Optional[ClusterSpec] = None) -> ExperimentResult:
     ]
     rows = []
     for baseline in BASELINES:
-        suite = projection.fit_operator_models(cluster,
-                                               baseline_model=baseline)
+        suite = session.suite(cluster=cluster, baseline_model=baseline)
         stats = projection.error_stats(
             projection.projection_errors(suite, targets, cluster,
                                          op_filter="weight-gemm")

@@ -11,15 +11,17 @@ other.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
-from repro.core import projection, validation
+from repro.core import validation
 from repro.core.hyperparams import ParallelConfig
 from repro.experiments import sweeps
 from repro.experiments.base import ExperimentResult
-from repro.hardware.cluster import ClusterSpec, mi210_node
+from repro.hardware.cluster import ClusterSpec
 from repro.models.trace import layer_trace
-from repro.sim.executor import execute_trace
+
+if TYPE_CHECKING:
+    from repro.runtime.session import Session
 
 __all__ = ["run", "main"]
 
@@ -31,10 +33,14 @@ _TPS = (8, 32, 128)
 def run(cluster: Optional[ClusterSpec] = None,
         hiddens: Sequence[int] = _HIDDENS,
         seq_lens: Sequence[int] = _SEQ_LENS,
-        tps: Sequence[int] = _TPS) -> ExperimentResult:
+        tps: Sequence[int] = _TPS,
+        session: Optional["Session"] = None) -> ExperimentResult:
     """Projected vs ground-truth serialized fractions across a grid."""
-    cluster = cluster or mi210_node()
-    suite = projection.fit_operator_models(cluster)
+    from repro.runtime.session import resolve_session
+
+    session = resolve_session(session)
+    cluster = cluster or session.cluster
+    suite = session.suite(cluster=cluster)
     points = []
     deviations = []
     for hidden in hiddens:
@@ -42,7 +48,7 @@ def run(cluster: Optional[ClusterSpec] = None,
             for tp in tps:
                 model = sweeps.serialized_model(hidden, seq_len, tp)
                 trace = layer_trace(model, ParallelConfig(tp=tp, dp=1))
-                truth = execute_trace(trace, cluster).breakdown
+                truth = session.execute(trace, cluster).breakdown
                 projected = suite.project_execution(trace).breakdown
                 x = truth.serialized_comm_fraction
                 y = projected.serialized_comm_fraction

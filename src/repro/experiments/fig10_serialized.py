@@ -9,42 +9,56 @@ reaching ~half of training time for the futuristic H=64K Transformer.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.projection import OperatorModelSuite
 from repro.experiments import sweeps
 from repro.experiments.base import ExperimentResult
-from repro.hardware.cluster import ClusterSpec, mi210_node
+from repro.hardware.cluster import ClusterSpec
+
+if TYPE_CHECKING:
+    from repro.runtime.session import Session
 
 __all__ = ["run", "main"]
 
 
 def run(cluster: Optional[ClusterSpec] = None,
-        suite: Optional[OperatorModelSuite] = None) -> ExperimentResult:
+        suite: Optional[OperatorModelSuite] = None,
+        session: Optional["Session"] = None,
+        jobs: int = 1) -> ExperimentResult:
     """Reproduce the Figure 10 sweep.
 
     Args:
-        cluster: Testbed (defaults to the MI210 node).
+        cluster: Testbed (defaults to the session's MI210 node).
         suite: Pass a fitted operator-model suite to produce the figure
             via projection (the paper's exact pipeline) instead of
             ground-truth simulation.
+        session: Runtime session supplying the default cluster and the
+            per-trace duration cache (default: the shared session).
+        jobs: Worker threads for the sweep grid (1 = serial).
     """
-    cluster = cluster or mi210_node()
+    from repro.runtime.session import resolve_session
+
+    session = resolve_session(session)
+    cluster = cluster or session.cluster
+    grid = [(line, tp)
+            for line in sweeps.SERIALIZED_LINES
+            for tp in sweeps.TP_DEGREES]
+    fractions = sweeps.serialized_sweep(
+        [(line.hidden, line.seq_len, tp) for line, tp in grid],
+        cluster, suite=suite, session=session, jobs=jobs,
+    )
     rows = []
-    for line in sweeps.SERIALIZED_LINES:
-        for tp in sweeps.TP_DEGREES:
-            fraction = sweeps.serialized_fraction(
-                line.hidden, line.seq_len, tp, cluster, suite=suite
-            )
-            highlighted = (line.hidden, tp) in sweeps.HIGHLIGHTED_CONFIGS
-            rows.append((
-                line.label,
-                line.hidden,
-                line.seq_len,
-                tp,
-                f"{fraction:.3f}",
-                "*" if highlighted else "",
-            ))
+    for (line, tp), fraction in zip(grid, fractions):
+        highlighted = (line.hidden, tp) in sweeps.HIGHLIGHTED_CONFIGS
+        rows.append((
+            line.label,
+            line.hidden,
+            line.seq_len,
+            tp,
+            f"{fraction:.3f}",
+            "*" if highlighted else "",
+        ))
     return ExperimentResult(
         experiment_id="figure-10",
         title="Fraction of serialized communication time",

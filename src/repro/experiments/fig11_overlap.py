@@ -9,28 +9,39 @@ algorithmic analysis alone does not capture (Section 4.3.5).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.experiments import sweeps
 from repro.experiments.base import ExperimentResult
-from repro.hardware.cluster import ClusterSpec, mi210_node
+from repro.hardware.cluster import ClusterSpec
+
+if TYPE_CHECKING:
+    from repro.runtime.session import Session
 
 __all__ = ["run", "main"]
 
 
-def run(cluster: Optional[ClusterSpec] = None) -> ExperimentResult:
+def run(cluster: Optional[ClusterSpec] = None,
+        session: Optional["Session"] = None,
+        jobs: int = 1) -> ExperimentResult:
     """Reproduce the Figure 11 sweep."""
-    cluster = cluster or mi210_node()
+    from repro.runtime.session import resolve_session
+
+    session = resolve_session(session)
+    cluster = cluster or session.cluster
+    points = [(hidden, slb)
+              for hidden in sweeps.OVERLAP_H_VALUES
+              for slb in sweeps.OVERLAP_SLB_VALUES]
+    ratios = sweeps.overlap_sweep(points, cluster, session=session,
+                                  jobs=jobs)
     rows = []
-    for hidden in sweeps.OVERLAP_H_VALUES:
-        for slb in sweeps.OVERLAP_SLB_VALUES:
-            ratio = sweeps.overlap_ratio(hidden, slb, cluster)
-            rows.append((
-                hidden,
-                slb,
-                f"{ratio:.3f}",
-                "yes" if ratio < 1.0 else "no (exposed)",
-            ))
+    for (hidden, slb), ratio in zip(points, ratios):
+        rows.append((
+            hidden,
+            slb,
+            f"{ratio:.3f}",
+            "yes" if ratio < 1.0 else "no (exposed)",
+        ))
     return ExperimentResult(
         experiment_id="figure-11",
         title="Overlapped comm as a fraction of compute time (TP=16)",

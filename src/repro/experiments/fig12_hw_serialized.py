@@ -8,12 +8,16 @@ from ~20-50% to ~30-65% and ~40-75% of training time.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.evolution import PAPER_SCENARIOS, HardwareScenario
 from repro.experiments import sweeps
 from repro.experiments.base import ExperimentResult
-from repro.hardware.cluster import ClusterSpec, mi210_node
+from repro.hardware.cluster import ClusterSpec
+from repro.runtime.parallel import parallel_map
+
+if TYPE_CHECKING:
+    from repro.runtime.session import Session
 
 __all__ = ["run", "main"]
 
@@ -21,26 +25,38 @@ __all__ = ["run", "main"]
 def run(
     cluster: Optional[ClusterSpec] = None,
     scenarios: Sequence[HardwareScenario] = PAPER_SCENARIOS,
+    session: Optional["Session"] = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce the Figure 12 scenario sweep."""
-    cluster = cluster or mi210_node()
+    from repro.runtime.session import resolve_session
+
+    session = resolve_session(session)
+    cluster = cluster or session.cluster
+    grid = [
+        (line, tp, scenario)
+        for line in sweeps.SERIALIZED_LINES
+        for hidden, tp in sweeps.HIGHLIGHTED_CONFIGS
+        if hidden == line.hidden
+        for scenario in scenarios
+    ]
+    fractions = parallel_map(
+        lambda item: sweeps.serialized_fraction(
+            item[0].hidden, item[0].seq_len, item[1], cluster,
+            scenario=item[2], session=session,
+        ),
+        grid,
+        jobs=jobs,
+    )
     rows = []
-    for line in sweeps.SERIALIZED_LINES:
-        for hidden, tp in sweeps.HIGHLIGHTED_CONFIGS:
-            if hidden != line.hidden:
-                continue
-            for scenario in scenarios:
-                fraction = sweeps.serialized_fraction(
-                    line.hidden, line.seq_len, tp, cluster,
-                    scenario=scenario,
-                )
-                rows.append((
-                    line.label,
-                    tp,
-                    scenario.name,
-                    f"{scenario.flop_vs_bw:g}x",
-                    f"{fraction:.3f}",
-                ))
+    for (line, tp, scenario), fraction in zip(grid, fractions):
+        rows.append((
+            line.label,
+            tp,
+            scenario.name,
+            f"{scenario.flop_vs_bw:g}x",
+            f"{fraction:.3f}",
+        ))
     return ExperimentResult(
         experiment_id="figure-12",
         title="Serialized comm fraction under hardware evolution",

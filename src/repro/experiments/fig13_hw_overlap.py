@@ -8,12 +8,16 @@ is exposed onto the critical path.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.evolution import PAPER_SCENARIOS, HardwareScenario
 from repro.experiments import sweeps
 from repro.experiments.base import ExperimentResult
-from repro.hardware.cluster import ClusterSpec, mi210_node
+from repro.hardware.cluster import ClusterSpec
+from repro.runtime.parallel import parallel_map
+
+if TYPE_CHECKING:
+    from repro.runtime.session import Session
 
 __all__ = ["run", "main"]
 
@@ -25,21 +29,33 @@ def run(
     cluster: Optional[ClusterSpec] = None,
     scenarios: Sequence[HardwareScenario] = PAPER_SCENARIOS,
     slb: int = FOCUS_SLB,
+    session: Optional["Session"] = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce the Figure 13 scenario sweep."""
-    cluster = cluster or mi210_node()
+    from repro.runtime.session import resolve_session
+
+    session = resolve_session(session)
+    cluster = cluster or session.cluster
+    grid = [(hidden, scenario)
+            for hidden in sweeps.OVERLAP_H_VALUES
+            for scenario in scenarios]
+    ratios = parallel_map(
+        lambda item: sweeps.overlap_ratio(
+            item[0], slb, cluster, scenario=item[1], session=session,
+        ),
+        grid,
+        jobs=jobs,
+    )
     rows = []
-    for hidden in sweeps.OVERLAP_H_VALUES:
-        for scenario in scenarios:
-            ratio = sweeps.overlap_ratio(hidden, slb, cluster,
-                                         scenario=scenario)
-            rows.append((
-                hidden,
-                slb,
-                scenario.name,
-                f"{ratio:.3f}",
-                "hidden" if ratio < 1.0 else "EXPOSED",
-            ))
+    for (hidden, scenario), ratio in zip(grid, ratios):
+        rows.append((
+            hidden,
+            slb,
+            scenario.name,
+            f"{ratio:.3f}",
+            "hidden" if ratio < 1.0 else "EXPOSED",
+        ))
     return ExperimentResult(
         experiment_id="figure-13",
         title="Overlapped comm vs compute under hardware evolution",

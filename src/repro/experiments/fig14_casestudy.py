@@ -2,17 +2,23 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core import casestudy
 from repro.experiments.base import ExperimentResult
 from repro.hardware.cluster import ClusterSpec
 
+if TYPE_CHECKING:
+    from repro.runtime.session import Session
+
 __all__ = ["run", "main"]
 
 
-def run(base_cluster: Optional[ClusterSpec] = None) -> ExperimentResult:
+def run(base_cluster: Optional[ClusterSpec] = None,
+        session: Optional["Session"] = None) -> ExperimentResult:
     """Reproduce the Figure 14 three-scenario case study."""
+    if base_cluster is None and session is not None:
+        base_cluster = session.cluster
     rows = []
     for row in casestudy.run_case_study(base_cluster=base_cluster):
         b = row.breakdown

@@ -15,16 +15,19 @@ efficiency changes with size (Section 4.3.8).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.core import projection
 from repro.core.hyperparams import ModelConfig, ParallelConfig
 from repro.experiments.base import ExperimentResult
 from repro.hardware import collectives
-from repro.hardware.cluster import ClusterSpec, mi210_node
+from repro.hardware.cluster import ClusterSpec
 from repro.models.graph import CollectiveKind, Trace
 from repro.models.trace import layer_trace
 from repro.sim.executor import DEFAULT_TIMING, TimingModels
+
+if TYPE_CHECKING:
+    from repro.runtime.session import Session
 
 __all__ = ["run", "main", "SL_SWEEP", "H_SWEEP", "AR_SWEEP_MB"]
 
@@ -67,10 +70,19 @@ def _allreduce_errors(suite: projection.OperatorModelSuite,
 
 
 def run(cluster: Optional[ClusterSpec] = None,
-        timing: TimingModels = DEFAULT_TIMING) -> ExperimentResult:
-    """Reproduce the Figure 15 accuracy evaluation."""
-    cluster = cluster or mi210_node()
-    suite = projection.fit_operator_models(cluster, timing=timing)
+        timing: TimingModels = DEFAULT_TIMING,
+        session: Optional["Session"] = None) -> ExperimentResult:
+    """Reproduce the Figure 15 accuracy evaluation.
+
+    The operator-model suite comes from the runtime session's memoized
+    fit -- shared with every other experiment on the same cluster and
+    timing models.
+    """
+    from repro.runtime.session import resolve_session
+
+    session = resolve_session(session)
+    cluster = cluster or session.cluster
+    suite = session.suite(cluster=cluster, timing=timing)
     base = suite.baseline_model
 
     evaluations = (

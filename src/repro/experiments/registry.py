@@ -2,12 +2,19 @@
 
 ``python -m repro.experiments.registry`` prints every reproduced table
 and figure; :func:`get_experiment` is the lookup the benchmark harness
-uses.
+uses.  :func:`run_all` executes through the shared runtime
+:class:`~repro.runtime.session.Session`, so operator-model suites are
+fitted once per process, results replay from the keyed cache, and
+``jobs > 1`` fans experiments out over a thread pool while preserving
+registry order.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.runtime.session import Session
 
 from repro.experiments import (
     ext_autotune,
@@ -105,9 +112,23 @@ def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
         ) from None
 
 
-def run_all() -> List[ExperimentResult]:
-    """Run every registered experiment, in registry order."""
-    return [runner() for runner in EXPERIMENTS.values()]
+def run_all(jobs: int = 1,
+            session: Optional["Session"] = None,
+            use_cache: bool = True) -> List[ExperimentResult]:
+    """Run every registered experiment, in registry order.
+
+    Args:
+        jobs: Worker threads (1 = serial; results keep registry order
+            either way).
+        session: Runtime session to execute under (default: the
+            process-wide shared session, so repeated calls replay from
+            its cache and reuse its fitted suites).
+        use_cache: Bypass the session's result cache when False.
+    """
+    from repro.runtime.session import resolve_session
+
+    return resolve_session(session).run_all(jobs=jobs,
+                                            use_cache=use_cache)
 
 
 def main() -> None:

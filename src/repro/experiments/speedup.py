@@ -12,21 +12,28 @@ Two claims are reproduced:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from repro.core import projection, roi, strategy
+from repro.core import roi, strategy
 from repro.core.hyperparams import ModelConfig, ParallelConfig
 from repro.experiments.base import ExperimentResult
-from repro.hardware.cluster import ClusterSpec, mi210_node
+from repro.hardware.cluster import ClusterSpec
 from repro.models.trace import layer_trace
+
+if TYPE_CHECKING:
+    from repro.runtime.session import Session
 
 __all__ = ["run", "main"]
 
 
-def run(cluster: Optional[ClusterSpec] = None) -> ExperimentResult:
+def run(cluster: Optional[ClusterSpec] = None,
+        session: Optional["Session"] = None) -> ExperimentResult:
     """Reproduce both profiling-speedup accountings."""
-    cluster = cluster or mi210_node()
-    suite = projection.fit_operator_models(cluster)
+    from repro.runtime.session import resolve_session
+
+    session = resolve_session(session)
+    cluster = cluster or session.cluster
+    suite = session.suite(cluster=cluster)
     report = strategy.profiling_cost_report(suite, cluster)
 
     roi_model = ModelConfig(name="roi", hidden=4096, seq_len=2048, batch=1,

@@ -4,12 +4,17 @@ The serialized-communication figures sweep three (H, SL) model lines --
 sized after T-NLG, PaLM, and a 3x-PaLM futuristic Transformer -- across
 TP degrees; the overlapped-communication figures sweep H against the
 ``SL * B`` product at the paper's fixed TP of 16.
+
+When a runtime :class:`~repro.runtime.session.Session` is threaded in,
+per-trace ground-truth durations replay from its keyed cache, and the
+``*_sweep`` helpers evaluate whole grids through the session's parallel
+executor while keeping deterministic input order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.core import roi
 from repro.core.evolution import HardwareScenario
@@ -18,7 +23,11 @@ from repro.core.projection import OperatorModelSuite
 from repro.core.strategy import sweep_num_heads
 from repro.hardware.cluster import ClusterSpec
 from repro.models.trace import layer_trace
+from repro.runtime.parallel import parallel_map
 from repro.sim.executor import DEFAULT_TIMING, TimingModels, execute_trace
+
+if TYPE_CHECKING:
+    from repro.runtime.session import Session
 
 __all__ = [
     "SerializedLine",
@@ -31,8 +40,10 @@ __all__ = [
     "OVERLAP_DP",
     "serialized_model",
     "serialized_fraction",
+    "serialized_sweep",
     "overlap_model",
     "overlap_ratio",
+    "overlap_sweep",
 ]
 
 
@@ -94,6 +105,7 @@ def serialized_fraction(
     scenario: Optional[HardwareScenario] = None,
     suite: Optional[OperatorModelSuite] = None,
     timing: TimingModels = DEFAULT_TIMING,
+    session: Optional["Session"] = None,
 ) -> float:
     """Serialized-communication fraction of one configuration.
 
@@ -101,6 +113,9 @@ def serialized_fraction(
         scenario: Optional hardware-evolution scaling (Figure 12).
         suite: When given, use operator-model *projection* (the paper's
             method) instead of ground-truth simulation.
+        session: When given, ground-truth per-trace durations replay
+            from the session's keyed cache (bit-identical to a fresh
+            ``execute_trace``).
     """
     model = serialized_model(hidden, seq_len, tp)
     parallel = ParallelConfig(tp=tp, dp=1)
@@ -113,9 +128,36 @@ def serialized_fraction(
             durations = scale_durations(trace, durations, scenario)
         from repro.sim.executor import schedule_with_durations
         result = schedule_with_durations(trace, durations)
+    elif session is not None:
+        result = session.execute(trace, target_cluster, timing)
     else:
         result = execute_trace(trace, target_cluster, timing)
     return result.breakdown.serialized_comm_fraction
+
+
+def serialized_sweep(
+    configs: Sequence[Tuple[int, int, int]],
+    cluster: ClusterSpec,
+    scenario: Optional[HardwareScenario] = None,
+    suite: Optional[OperatorModelSuite] = None,
+    timing: TimingModels = DEFAULT_TIMING,
+    session: Optional["Session"] = None,
+    jobs: int = 1,
+) -> List[float]:
+    """Serialized fractions for a grid of ``(hidden, seq_len, tp)``.
+
+    Evaluates configurations through the runtime parallel executor
+    (``jobs`` worker threads; serial by default) and returns fractions
+    in input order.
+    """
+    return parallel_map(
+        lambda cfg: serialized_fraction(
+            cfg[0], cfg[1], cfg[2], cluster,
+            scenario=scenario, suite=suite, timing=timing, session=session,
+        ),
+        configs,
+        jobs=jobs,
+    )
 
 
 def overlap_model(hidden: int, slb: int) -> ModelConfig:
@@ -135,16 +177,53 @@ def overlap_ratio(
     cluster: ClusterSpec,
     scenario: Optional[HardwareScenario] = None,
     timing: TimingModels = DEFAULT_TIMING,
+    session: Optional["Session"] = None,
 ) -> float:
     """Overlapped comm as a fraction of ROI compute (Figure 11/13 metric).
 
     Hardware evolution scales the ROI's compute and communication times
-    by the scenario's respective factors (Section 4.3.6).
+    by the scenario's respective factors (Section 4.3.6).  With a
+    session, the scenario-independent base ratio replays from the keyed
+    cache, so the Figure 11 grid and every Figure 13 scenario share one
+    ROI timing per configuration.
     """
     model = overlap_model(hidden, slb)
     parallel = ParallelConfig(tp=OVERLAP_TP, dp=OVERLAP_DP)
-    timing_result = roi.overlap_roi_timing(model, parallel, cluster, timing)
-    ratio = timing_result.overlapped_pct_of_compute
+
+    def compute_ratio() -> float:
+        timing_result = roi.overlap_roi_timing(model, parallel, cluster,
+                                               timing)
+        return timing_result.overlapped_pct_of_compute
+
+    if session is not None:
+        ratio = session.memo("overlap-roi-ratio",
+                             (model, parallel, cluster, timing),
+                             compute_ratio)
+    else:
+        ratio = compute_ratio()
     if scenario is not None:
         ratio *= scenario.compute_scale / scenario.network_scale
     return ratio
+
+
+def overlap_sweep(
+    points: Sequence[Tuple[int, int]],
+    cluster: ClusterSpec,
+    scenario: Optional[HardwareScenario] = None,
+    timing: TimingModels = DEFAULT_TIMING,
+    session: Optional["Session"] = None,
+    jobs: int = 1,
+) -> List[float]:
+    """Overlap ratios for a grid of ``(hidden, slb)`` points.
+
+    Same parallel-executor contract as :func:`serialized_sweep`:
+    ``jobs`` worker threads, results in input order.
+    """
+    return parallel_map(
+        lambda point: overlap_ratio(
+            point[0], point[1], cluster,
+            scenario=scenario, timing=timing, session=session,
+        ),
+        points,
+        jobs=jobs,
+    )

@@ -1,0 +1,41 @@
+"""Shared runtime layer: sessions, caching, and parallel execution.
+
+Applies the paper's own cost-amortization principle to the harness:
+:class:`Session` fits each operator-model suite exactly once per
+process, replays cached :class:`~repro.experiments.base.ExperimentResult`
+documents and per-trace durations through a content-keyed
+:class:`ResultCache` (optionally persisted under ``~/.cache/repro``),
+and fans experiment execution out over a deterministic,
+order-preserving thread pool.
+"""
+
+from repro.runtime.cache import (
+    CACHE_VERSION,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+)
+from repro.runtime.keys import cache_key, canonicalize, fingerprint
+from repro.runtime.parallel import parallel_map, resolve_jobs
+from repro.runtime.session import (
+    Session,
+    get_session,
+    resolve_session,
+    set_session,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "Session",
+    "cache_key",
+    "canonicalize",
+    "default_cache_dir",
+    "fingerprint",
+    "get_session",
+    "parallel_map",
+    "resolve_jobs",
+    "resolve_session",
+    "set_session",
+]

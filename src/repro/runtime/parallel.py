@@ -1,0 +1,45 @@
+"""Order-preserving parallel map for experiment and sweep execution.
+
+Built on :mod:`concurrent.futures` threads: the simulator is pure
+Python, so threads mainly win by overlapping independent experiments'
+cache/disk work and by letting one warm session serve many runners --
+but the contract that matters is *determinism*: results always come
+back in input order, and ``jobs=1`` (the default) degenerates to a
+plain serial loop with no executor involved.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+__all__ = ["resolve_jobs", "parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: None/0 -> 1, negative -> CPU count."""
+    if jobs is None or jobs == 0:
+        return 1
+    if jobs < 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T],
+                 jobs: Optional[int] = 1) -> List[R]:
+    """Map ``fn`` over ``items``, preserving input order.
+
+    Serial when ``jobs`` resolves to 1 (or there is at most one item);
+    otherwise a thread pool of ``jobs`` workers.  Exceptions propagate
+    to the caller either way.
+    """
+    work = list(items)
+    workers = resolve_jobs(jobs)
+    if workers <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    with ThreadPoolExecutor(max_workers=min(workers, len(work))) as pool:
+        return list(pool.map(fn, work))

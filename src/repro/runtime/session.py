@@ -1,0 +1,285 @@
+"""The shared runtime ``Session``: one cluster, one cache, one fit.
+
+The paper's methodology is cost amortization -- profile one baseline,
+fit operator models once, and project every other configuration.  The
+``Session`` object applies the same principle to the harness itself:
+
+* it owns the cluster and timing models every experiment runs against,
+* it memoizes fitted :class:`~repro.core.projection.OperatorModelSuite`
+  objects by content key (cluster + baseline + timing), so each suite
+  is fitted **exactly once per process** no matter how many experiments
+  ask for it,
+* it fronts a content-keyed :class:`~repro.runtime.cache.ResultCache`
+  for whole :class:`~repro.experiments.base.ExperimentResult` documents
+  and per-trace duration vectors (optionally persisted on disk), and
+* it runs the experiment registry serially or with a thread pool
+  (``jobs``), preserving registry order either way.
+
+A process-wide default session (:func:`get_session`) lets module-level
+``run()`` functions share the memoized state without any threading of
+arguments; passing an explicit ``Session`` overrides it everywhere the
+experiment layer accepts one.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.projection import (
+    DEFAULT_BASELINE,
+    OperatorModelSuite,
+    fit_operator_models,
+)
+from repro.core.hyperparams import ModelConfig
+from repro.experiments.base import ExperimentResult, RunMeta
+from repro.hardware.cluster import ClusterSpec, mi210_node
+from repro.models.graph import Trace
+from repro.runtime.cache import CACHE_VERSION, ResultCache
+from repro.runtime.keys import cache_key, fingerprint
+from repro.runtime.parallel import parallel_map, resolve_jobs
+from repro.sim.executor import (
+    DEFAULT_TIMING,
+    ExecutionResult,
+    TimingModels,
+    op_duration,
+    schedule_with_durations,
+)
+
+__all__ = ["Session", "get_session", "set_session", "resolve_session"]
+
+
+class Session:
+    """Shared runtime state for experiment and sweep execution.
+
+    Args:
+        cluster: Default testbed for every experiment (MI210 node).
+        timing: Default compute timing models.
+        cache: An existing :class:`ResultCache` to front; mutually
+            exclusive with ``cache_dir``.
+        cache_dir: Directory for a persistent on-disk cache; when both
+            ``cache`` and ``cache_dir`` are None the cache is
+            memory-only.
+        jobs: Default parallelism for :meth:`run_all` (1 = serial).
+    """
+
+    def __init__(self,
+                 cluster: Optional[ClusterSpec] = None,
+                 timing: Optional[TimingModels] = None,
+                 cache: Optional[ResultCache] = None,
+                 cache_dir: Optional[str] = None,
+                 jobs: int = 1) -> None:
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass either cache or cache_dir, not both")
+        self.cluster = cluster if cluster is not None else mi210_node()
+        self.timing = timing if timing is not None else DEFAULT_TIMING
+        self.cache = cache if cache is not None else (
+            ResultCache(cache_dir=cache_dir)
+        )
+        self.jobs = resolve_jobs(jobs)
+        self._suites: Dict[str, OperatorModelSuite] = {}
+        self._suite_fits: Dict[str, int] = {}
+        self._suite_lock = threading.Lock()
+        self._fingerprint: Optional[str] = None
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the session's cluster + timing models."""
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint(
+                CACHE_VERSION, self.cluster, self.timing
+            )
+        return self._fingerprint
+
+    # -- operator-model suites -------------------------------------------
+
+    def suite(self,
+              cluster: Optional[ClusterSpec] = None,
+              baseline_model: ModelConfig = DEFAULT_BASELINE,
+              timing: Optional[TimingModels] = None,
+              reference_ar_bytes: int = 32 * 1024 * 1024,
+              reference_group: Optional[int] = None) -> OperatorModelSuite:
+        """A fitted operator-model suite, memoized by content key.
+
+        The key covers the cluster, baseline model, timing models, and
+        collective reference parameters; equal configurations share one
+        fit per process, even across concurrent callers.
+        """
+        cluster = cluster if cluster is not None else self.cluster
+        timing = timing if timing is not None else self.timing
+        key = fingerprint("suite", cluster, baseline_model, timing,
+                          reference_ar_bytes, reference_group)
+        with self._suite_lock:
+            suite = self._suites.get(key)
+            if suite is None:
+                suite = fit_operator_models(
+                    cluster,
+                    baseline_model=baseline_model,
+                    timing=timing,
+                    reference_ar_bytes=reference_ar_bytes,
+                    reference_group=reference_group,
+                )
+                self._suites[key] = suite
+                self._suite_fits[key] = self._suite_fits.get(key, 0) + 1
+        return suite
+
+    @property
+    def suite_fit_count(self) -> int:
+        """Total operator-model fits performed by this session."""
+        return sum(self._suite_fits.values())
+
+    def suite_fits(self) -> Dict[str, int]:
+        """Fit count per suite key (every value should stay at 1)."""
+        return dict(self._suite_fits)
+
+    # -- per-trace duration caching --------------------------------------
+
+    def memo(self, namespace: str, key_obj: object,
+             compute: Callable[[], object]) -> object:
+        """Generic content-keyed memoization through the result cache."""
+        key = cache_key(namespace, CACHE_VERSION, key_obj)
+        cached = self.cache.get(key)
+        if isinstance(cached, dict) and "value" in cached:
+            return cached["value"]
+        value = compute()
+        self.cache.put(key, {"value": value})
+        return value
+
+    def trace_durations(self,
+                        trace: Trace,
+                        cluster: Optional[ClusterSpec] = None,
+                        timing: Optional[TimingModels] = None
+                        ) -> List[float]:
+        """Cached ground-truth per-op durations for one trace."""
+        cluster = cluster if cluster is not None else self.cluster
+        timing = timing if timing is not None else self.timing
+        durations = self.memo(
+            "trace-durations", (trace, cluster, timing),
+            lambda: [op_duration(op, trace, cluster, timing)
+                     for op in trace.ops],
+        )
+        return list(durations)
+
+    def execute(self,
+                trace: Trace,
+                cluster: Optional[ClusterSpec] = None,
+                timing: Optional[TimingModels] = None,
+                shared_network: bool = False) -> ExecutionResult:
+        """Cache-backed equivalent of :func:`repro.sim.executor.execute_trace`.
+
+        Durations come from the per-trace cache; scheduling is recomputed
+        (it is cheap and keeps ``ExecutionResult`` bit-identical to a
+        fresh ``execute_trace`` call).
+        """
+        durations = self.trace_durations(trace, cluster, timing)
+        return schedule_with_durations(trace, durations,
+                                       shared_network=shared_network)
+
+    # -- experiment execution --------------------------------------------
+
+    def _invoke(self, runner: Callable[..., ExperimentResult]
+                ) -> ExperimentResult:
+        """Call a registry runner, passing ``session=self`` if accepted."""
+        if "session" in _runner_params(runner):
+            return runner(session=self)
+        return runner()
+
+    def run(self, experiment_id: str,
+            use_cache: bool = True) -> ExperimentResult:
+        """Run (or replay) one registered experiment.
+
+        Cache keys cover the experiment id and the session fingerprint,
+        so sessions on different clusters or timing models never share
+        entries.  The returned result carries :class:`RunMeta`.
+        """
+        from repro.experiments import registry
+
+        runner = registry.get_experiment(experiment_id)
+        key = cache_key("experiment-result", CACHE_VERSION, experiment_id,
+                        self.fingerprint)
+        start = time.perf_counter()
+        if use_cache:
+            cached = self.cache.get(key)
+            if isinstance(cached, dict):
+                result = ExperimentResult.from_dict(cached)
+                meta = RunMeta(wall_time_s=time.perf_counter() - start,
+                               cache="hit", session=self.fingerprint)
+                return result.with_meta(meta)
+        result = self._invoke(runner)
+        if use_cache:
+            self.cache.put(key, result.to_dict())
+        meta = RunMeta(wall_time_s=time.perf_counter() - start,
+                       cache="miss" if use_cache else "off",
+                       session=self.fingerprint)
+        return result.with_meta(meta)
+
+    def run_all(self,
+                jobs: Optional[int] = None,
+                experiment_ids: Optional[Sequence[str]] = None,
+                use_cache: bool = True) -> List[ExperimentResult]:
+        """Run every registered experiment, in registry order.
+
+        Args:
+            jobs: Worker threads (default: the session's ``jobs``).
+                Results come back in registry order regardless.
+            experiment_ids: Restrict to a subset, preserving the given
+                order.
+        """
+        from repro.experiments import registry
+
+        if experiment_ids is None:
+            experiment_ids = list(registry.EXPERIMENTS)
+        jobs = self.jobs if jobs is None else resolve_jobs(jobs)
+        return parallel_map(
+            lambda experiment_id: self.run(experiment_id,
+                                           use_cache=use_cache),
+            experiment_ids,
+            jobs=jobs,
+        )
+
+
+_PARAMS_CACHE: Dict[object, frozenset] = {}
+
+
+def _runner_params(runner: Callable[..., object]) -> frozenset:
+    params = _PARAMS_CACHE.get(runner)
+    if params is None:
+        try:
+            params = frozenset(inspect.signature(runner).parameters)
+        except (TypeError, ValueError):
+            params = frozenset()
+        _PARAMS_CACHE[runner] = params
+    return params
+
+
+_default_session: Optional[Session] = None
+_default_lock = threading.Lock()
+
+
+def get_session() -> Session:
+    """The process-wide default session (created lazily, memory-only)."""
+    global _default_session
+    with _default_lock:
+        if _default_session is None:
+            _default_session = Session()
+        return _default_session
+
+
+def set_session(session: Optional[Session]) -> Optional[Session]:
+    """Replace the default session; returns the previous one.
+
+    Pass None to drop the default so the next :func:`get_session`
+    builds a fresh one (useful in tests).
+    """
+    global _default_session
+    with _default_lock:
+        previous = _default_session
+        _default_session = session
+        return previous
+
+
+def resolve_session(session: Optional[Session]) -> Session:
+    """An explicit session if given, else the process default."""
+    return session if session is not None else get_session()

@@ -133,15 +133,103 @@ class TestPlan:
         assert "power of two" in capsys.readouterr().err
 
 
+class TestExperimentRuntime:
+    def test_jobs_matches_serial_output(self, tmp_path, capsys):
+        serial = tmp_path / "serial.txt"
+        threaded = tmp_path / "threaded.txt"
+        assert main(["experiment", "all", "-o", str(serial)]) == 0
+        assert main(["experiment", "all", "--jobs", "4",
+                     "-o", str(threaded)]) == 0
+        assert serial.read_text() == threaded.read_text()
+
+    def test_cache_dir_cold_then_warm_identical(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        cold = tmp_path / "cold.txt"
+        warm = tmp_path / "warm.txt"
+        assert main(["experiment", "figure-10", "--cache-dir", str(cache),
+                     "-o", str(cold)]) == 0
+        assert main(["experiment", "figure-10", "--cache-dir", str(cache),
+                     "-o", str(warm)]) == 0
+        assert cold.read_text() == warm.read_text()
+        assert list(cache.glob("*.json"))
+
+    def test_meta_flag_appends_run_line(self, capsys):
+        assert main(["experiment", "table-3", "--meta"]) == 0
+        out = capsys.readouterr().out
+        assert "run:" in out
+        assert "session" in out
+
+    def test_default_output_has_no_meta(self, capsys):
+        assert main(["experiment", "table-3"]) == 0
+        assert "run:" not in capsys.readouterr().out
+
+    def test_no_cache_flag(self, capsys):
+        assert main(["experiment", "table-3", "--no-cache",
+                     "--meta"]) == 0
+        assert "cache off" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def test_info_empty(self, tmp_path, capsys):
+        assert main(["cache", "info", "--cache-dir",
+                     str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "disk entries:   0" in out
+
+    def test_info_after_runs(self, tmp_path, capsys):
+        cache = tmp_path / "c"
+        assert main(["experiment", "table-2", "--cache-dir",
+                     str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "disk entries:   0" not in out
+
+    def test_clear(self, tmp_path, capsys):
+        cache = tmp_path / "c"
+        assert main(["experiment", "table-2", "--cache-dir",
+                     str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert list(cache.glob("*.json")) == []
+
+
 class TestOtherCommands:
     def test_zoo(self, capsys):
         assert main(["zoo"]) == 0
         assert "PaLM" in capsys.readouterr().out
 
+    def test_zoo_json_format(self, capsys):
+        import json
+        assert main(["zoo", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["experiment_id"] == "table-2"
+
+    def test_zoo_output_file(self, tmp_path, capsys):
+        target = tmp_path / "zoo.csv"
+        assert main(["zoo", "--format", "csv", "-o", str(target)]) == 0
+        assert capsys.readouterr().out == ""
+        assert target.read_text().startswith("model,")
+
     def test_forecast(self, capsys):
         assert main(["forecast", "--start", "2023", "--end", "2024"]) == 0
         out = capsys.readouterr().out
         assert "2023" in out and "2024" in out
+
+    def test_forecast_json_format(self, capsys):
+        import json
+        assert main(["forecast", "--start", "2023", "--end", "2023",
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["experiment_id"] == "extension-forecast"
+
+    def test_forecast_output_file(self, tmp_path, capsys):
+        target = tmp_path / "forecast.txt"
+        assert main(["forecast", "--start", "2023", "--end", "2023",
+                     "-o", str(target)]) == 0
+        assert capsys.readouterr().out == ""
+        assert "2023" in target.read_text()
 
     def test_forecast_bad_range(self, capsys):
         assert main(["forecast", "--start", "2025", "--end", "2023"]) == 2
