@@ -5,14 +5,30 @@ reports the regeneration time through pytest-benchmark, and asserts the
 paper's qualitative bands on the produced rows (shape fidelity, not
 absolute numbers -- our substrate is a simulator, not the authors'
 testbed).
+
+The session also emits ``BENCH_results.json`` at the repo root: wall
+times for every collected bench plus any extra measurements recorded
+through the ``bench_extra`` fixture (the batch-vs-scalar cold-grid
+timings live there), tagged with the git revision so committed numbers
+are traceable.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
 from repro.core import projection
 from repro.hardware.cluster import ClusterSpec, mi210_node
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_RESULTS_PATH = _REPO_ROOT / "BENCH_results.json"
+_EXTRA_KEY = pytest.StashKey[dict]()
 
 
 @pytest.fixture(scope="session")
@@ -23,3 +39,68 @@ def cluster() -> ClusterSpec:
 @pytest.fixture(scope="session")
 def suite(cluster):
     return projection.fit_operator_models(cluster)
+
+
+@pytest.fixture(scope="session")
+def bench_extra(request) -> dict:
+    """Session-wide dict merged into ``BENCH_results.json`` on exit.
+
+    Benches record named measurements that pytest-benchmark does not
+    model (e.g. the cold batch-vs-scalar grid comparison) by mutating
+    this mapping.
+    """
+    return request.config.stash[_EXTRA_KEY]
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=_REPO_ROOT, check=True,
+            capture_output=True, text=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _collect_benchmarks(config) -> list:
+    session = getattr(config, "_benchmarksession", None)
+    records = []
+    for bench in getattr(session, "benchmarks", []) or []:
+        stats = getattr(bench, "stats", None)
+        record = {
+            "name": getattr(bench, "name", "?"),
+            "fullname": getattr(bench, "fullname", "?"),
+            "group": getattr(bench, "group", None),
+        }
+        for field in ("mean", "min", "max", "stddev", "rounds"):
+            value = getattr(stats, field, None)
+            if value is not None:
+                record[field] = value
+        records.append(record)
+    return records
+
+
+def pytest_configure(config):
+    config.stash[_EXTRA_KEY] = {}
+
+
+def pytest_sessionfinish(session, exitstatus):
+    config = session.config
+    if getattr(config, "workerinput", None) is not None:
+        return  # xdist worker: the controller writes the file
+    payload = {
+        "git_sha": _git_sha(),
+        "python": sys.version.split()[0],
+        "engine": os.environ.get("REPRO_ENGINE", "auto"),
+        "exit_status": int(exitstatus),
+        "benchmarks": _collect_benchmarks(config),
+        "extra": config.stash.get(_EXTRA_KEY, {}),
+    }
+    if not payload["benchmarks"] and not payload["extra"]:
+        return  # collection-only / non-bench invocation: nothing to report
+    try:
+        _RESULTS_PATH.write_text(json.dumps(payload, indent=2,
+                                            sort_keys=True) + "\n",
+                                 encoding="utf-8")
+    except OSError:
+        pass  # a read-only checkout must not fail the bench run

@@ -93,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--meta", action="store_true",
                             help="append run metadata (wall time, cache "
                                  "hit/miss, session fingerprint)")
+    experiment.add_argument("--engine", choices=("auto", "scalar", "batch"),
+                            default="auto",
+                            help="sweep evaluation engine: the vectorized "
+                                 "batch engine, the per-config scalar "
+                                 "reference, or auto (batch with scalar "
+                                 "fallback; default)")
 
     zoo = subparsers.add_parser("zoo", help="print the Table 2 model zoo")
     zoo.add_argument("--format", choices=("text", "json", "csv"),
@@ -214,14 +220,17 @@ def _emit(text: str, output: Optional[str]) -> None:
 def _experiment_session(args: argparse.Namespace):
     """The session an ``experiment`` invocation runs under.
 
-    A ``--cache-dir`` builds a dedicated session with a persistent
-    cache; otherwise the process-wide shared session (memory-only
+    A ``--cache-dir`` or non-default ``--engine`` builds a dedicated
+    session; otherwise the process-wide shared session (memory-only
     cache, memoized suite fits) is used.
     """
     from repro.runtime.session import Session, get_session
 
+    engine = getattr(args, "engine", "auto")
     if args.cache_dir:
-        return Session(cache_dir=args.cache_dir)
+        return Session(cache_dir=args.cache_dir, engine=engine)
+    if engine != "auto":
+        return Session(engine=engine)
     return get_session()
 
 

@@ -6,6 +6,14 @@ the sweep/reporting machinery that regenerates the paper's figures.
 """
 
 from repro.core.autotune import best_plan, enumerate_plans
+from repro.core.batch import (
+    BatchBreakdown,
+    ConfigGrid,
+    batch_execute,
+    batch_overlap_roi,
+    batch_project,
+    serialized_fractions_for_pairs,
+)
 from repro.core.edge import amdahl_edge
 from repro.core.evolution import PAPER_SCENARIOS, HardwareScenario
 from repro.core.hyperparams import (
@@ -21,6 +29,8 @@ from repro.core.scaling import required_tp
 from repro.core.slack import slack_advantage
 
 __all__ = [
+    "BatchBreakdown",
+    "ConfigGrid",
     "HardwareScenario",
     "LayerType",
     "ModelConfig",
@@ -28,9 +38,13 @@ __all__ = [
     "ParallelConfig",
     "Precision",
     "amdahl_edge",
+    "batch_execute",
+    "batch_overlap_roi",
+    "batch_project",
     "best_plan",
     "enumerate_plans",
     "fit_operator_models",
+    "serialized_fractions_for_pairs",
     "overlap_roi_timing",
     "required_tp",
     "slack_advantage",

@@ -8,40 +8,60 @@ communication share on today's testbed and on 4x flop-vs-bw hardware.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core import forecast, scaling
 from repro.core.evolution import PAPER_SCENARIOS
 from repro.core.hyperparams import ParallelConfig
 from repro.experiments.base import ExperimentResult
 from repro.hardware.cluster import ClusterSpec, mi210_node
-from repro.models.trace import layer_trace
-from repro.sim.executor import execute_trace
+
+if TYPE_CHECKING:
+    from repro.runtime.session import Session
 
 __all__ = ["run", "main"]
 
 
 def run(cluster: Optional[ClusterSpec] = None,
-        start_year: int = 2023, end_year: int = 2027) -> ExperimentResult:
-    """Analyze forecasted future Transformers year by year."""
-    cluster = cluster or mi210_node()
+        start_year: int = 2023, end_year: int = 2027,
+        session: Optional["Session"] = None,
+        engine: Optional[str] = None) -> ExperimentResult:
+    """Analyze forecasted future Transformers year by year.
+
+    The yearly configurations are evaluated as one batched grid per
+    cluster (today's and the 4x-scaled one); ``engine="scalar"`` forces
+    the per-config reference path.
+    """
+    from repro.core.batch import serialized_fractions_for_pairs
+    from repro.experiments.sweeps import _resolve_engine
+
+    if cluster is None:
+        cluster = session.cluster if session is not None else mi210_node()
+    resolved = _resolve_engine(engine, session)
     fourx = PAPER_SCENARIOS[2].apply(cluster)
-    rows = []
-    for model in forecast.forecast_series(start_year, end_year):
+    models = list(forecast.forecast_series(start_year, end_year))
+    pairs = []
+    for model in models:
         tp = min(scaling.required_tp(model, max_tp=256), model.num_heads)
-        parallel = ParallelConfig(tp=tp, dp=1)
-        trace = layer_trace(model, parallel)
-        today = execute_trace(trace, cluster).breakdown
-        future = execute_trace(trace, fourx).breakdown
+        pairs.append((model, ParallelConfig(tp=tp, dp=1)))
+    today_fractions = serialized_fractions_for_pairs(
+        pairs, cluster, engine=resolved
+    )
+    future_fractions = serialized_fractions_for_pairs(
+        pairs, fourx, engine=resolved
+    )
+    rows = []
+    for (model, parallel), today, future in zip(pairs, today_fractions,
+                                                future_fractions):
         rows.append((
             model.year,
             model.hidden,
             model.seq_len,
             model.num_layers,
             f"{model.total_params() / 1e9:.0f}",
-            tp,
-            f"{today.serialized_comm_fraction:.3f}",
-            f"{future.serialized_comm_fraction:.3f}",
+            parallel.tp,
+            f"{today:.3f}",
+            f"{future:.3f}",
         ))
     hidden_rate = forecast.hidden_trend().annual_rate
     return ExperimentResult(

@@ -25,7 +25,8 @@ __all__ = ["run", "main"]
 def run(cluster: Optional[ClusterSpec] = None,
         suite: Optional[OperatorModelSuite] = None,
         session: Optional["Session"] = None,
-        jobs: int = 1) -> ExperimentResult:
+        jobs: int = 1,
+        engine: Optional[str] = None) -> ExperimentResult:
     """Reproduce the Figure 10 sweep.
 
     Args:
@@ -35,7 +36,9 @@ def run(cluster: Optional[ClusterSpec] = None,
             ground-truth simulation.
         session: Runtime session supplying the default cluster and the
             per-trace duration cache (default: the shared session).
-        jobs: Worker threads for the sweep grid (1 = serial).
+        jobs: Worker threads for the scalar-path sweep grid (1 = serial).
+        engine: Sweep engine override (``"auto"``/``"scalar"``/
+            ``"batch"``; default: the session's engine).
     """
     from repro.runtime.session import resolve_session
 
@@ -46,7 +49,7 @@ def run(cluster: Optional[ClusterSpec] = None,
             for tp in sweeps.TP_DEGREES]
     fractions = sweeps.serialized_sweep(
         [(line.hidden, line.seq_len, tp) for line, tp in grid],
-        cluster, suite=suite, session=session, jobs=jobs,
+        cluster, suite=suite, session=session, jobs=jobs, engine=engine,
     )
     rows = []
     for (line, tp), fraction in zip(grid, fractions):

@@ -14,7 +14,6 @@ from repro.core.evolution import PAPER_SCENARIOS, HardwareScenario
 from repro.experiments import sweeps
 from repro.experiments.base import ExperimentResult
 from repro.hardware.cluster import ClusterSpec
-from repro.runtime.parallel import parallel_map
 
 if TYPE_CHECKING:
     from repro.runtime.session import Session
@@ -27,27 +26,43 @@ def run(
     scenarios: Sequence[HardwareScenario] = PAPER_SCENARIOS,
     session: Optional["Session"] = None,
     jobs: int = 1,
+    engine: Optional[str] = None,
 ) -> ExperimentResult:
-    """Reproduce the Figure 12 scenario sweep."""
+    """Reproduce the Figure 12 scenario sweep.
+
+    The grid runs as one :func:`~repro.experiments.sweeps.serialized_sweep`
+    per scenario (each scenario scales the cluster differently), so the
+    batch engine evaluates all highlighted configurations of a scenario
+    at once.
+    """
     from repro.runtime.session import resolve_session
 
     session = resolve_session(session)
     cluster = cluster or session.cluster
-    grid = [
-        (line, tp, scenario)
+    highlighted = [
+        (line, tp)
         for line in sweeps.SERIALIZED_LINES
         for hidden, tp in sweeps.HIGHLIGHTED_CONFIGS
         if hidden == line.hidden
+    ]
+    configs = [(line.hidden, line.seq_len, tp) for line, tp in highlighted]
+    by_scenario = {
+        scenario: sweeps.serialized_sweep(
+            configs, cluster, scenario=scenario, session=session,
+            jobs=jobs, engine=engine,
+        )
+        for scenario in scenarios
+    }
+    grid = [
+        (line, tp, scenario)
+        for line, tp in highlighted
         for scenario in scenarios
     ]
-    fractions = parallel_map(
-        lambda item: sweeps.serialized_fraction(
-            item[0].hidden, item[0].seq_len, item[1], cluster,
-            scenario=item[2], session=session,
-        ),
-        grid,
-        jobs=jobs,
-    )
+    fractions = [
+        by_scenario[scenario][config_index]
+        for config_index, (line, tp) in enumerate(highlighted)
+        for scenario in scenarios
+    ]
     rows = []
     for (line, tp, scenario), fraction in zip(grid, fractions):
         rows.append((

@@ -14,7 +14,6 @@ from repro.core.evolution import PAPER_SCENARIOS, HardwareScenario
 from repro.experiments import sweeps
 from repro.experiments.base import ExperimentResult
 from repro.hardware.cluster import ClusterSpec
-from repro.runtime.parallel import parallel_map
 
 if TYPE_CHECKING:
     from repro.runtime.session import Session
@@ -31,22 +30,35 @@ def run(
     slb: int = FOCUS_SLB,
     session: Optional["Session"] = None,
     jobs: int = 1,
+    engine: Optional[str] = None,
 ) -> ExperimentResult:
-    """Reproduce the Figure 13 scenario sweep."""
+    """Reproduce the Figure 13 scenario sweep.
+
+    One :func:`~repro.experiments.sweeps.overlap_sweep` per scenario;
+    the scenario scaling is applied to the shared scenario-independent
+    base ratios, so with a session the whole figure reuses one batched
+    ROI evaluation.
+    """
     from repro.runtime.session import resolve_session
 
     session = resolve_session(session)
     cluster = cluster or session.cluster
+    points = [(hidden, slb) for hidden in sweeps.OVERLAP_H_VALUES]
+    by_scenario = {
+        scenario: sweeps.overlap_sweep(
+            points, cluster, scenario=scenario, session=session,
+            jobs=jobs, engine=engine,
+        )
+        for scenario in scenarios
+    }
     grid = [(hidden, scenario)
             for hidden in sweeps.OVERLAP_H_VALUES
             for scenario in scenarios]
-    ratios = parallel_map(
-        lambda item: sweeps.overlap_ratio(
-            item[0], slb, cluster, scenario=item[1], session=session,
-        ),
-        grid,
-        jobs=jobs,
-    )
+    ratios = [
+        by_scenario[scenario][h_index]
+        for h_index, hidden in enumerate(sweeps.OVERLAP_H_VALUES)
+        for scenario in scenarios
+    ]
     rows = []
     for (hidden, scenario), ratio in zip(grid, ratios):
         rows.append((

@@ -46,6 +46,20 @@ __all__ = [
     "overlap_sweep",
 ]
 
+ENGINES = ("auto", "scalar", "batch")
+
+
+def _resolve_engine(engine: Optional[str],
+                    session: Optional["Session"]) -> str:
+    """Effective engine choice: explicit argument, else the session's."""
+    if engine is None:
+        engine = "auto"
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if engine == "auto" and session is not None:
+        return session.engine
+    return engine
+
 
 @dataclass(frozen=True)
 class SerializedLine:
@@ -135,6 +149,29 @@ def serialized_fraction(
     return result.breakdown.serialized_comm_fraction
 
 
+def _serialized_sweep_batch(
+    configs: Sequence[Tuple[int, int, int]],
+    cluster: ClusterSpec,
+    scenario: Optional[HardwareScenario],
+    suite: Optional[OperatorModelSuite],
+    timing: TimingModels,
+    session: Optional["Session"],
+) -> List[float]:
+    """Batched serialized sweep (bit-identical to the scalar path)."""
+    from repro.core.batch import ConfigGrid, batch_execute, batch_project
+
+    grid = ConfigGrid.from_serialized(configs)
+    if suite is not None:
+        breakdown = batch_project(grid, suite, scenario=scenario)
+    else:
+        target = scenario.apply(cluster) if scenario else cluster
+        if session is not None:
+            breakdown = session.batch(grid, target, timing)
+        else:
+            breakdown = batch_execute(grid, target, timing)
+    return [float(f) for f in breakdown.serialized_comm_fraction]
+
+
 def serialized_sweep(
     configs: Sequence[Tuple[int, int, int]],
     cluster: ClusterSpec,
@@ -143,13 +180,25 @@ def serialized_sweep(
     timing: TimingModels = DEFAULT_TIMING,
     session: Optional["Session"] = None,
     jobs: int = 1,
+    engine: Optional[str] = None,
 ) -> List[float]:
     """Serialized fractions for a grid of ``(hidden, seq_len, tp)``.
 
-    Evaluates configurations through the runtime parallel executor
-    (``jobs`` worker threads; serial by default) and returns fractions
-    in input order.
+    With the batch engine (the default via ``"auto"``), the whole grid
+    is evaluated at once through :mod:`repro.core.batch`; results are
+    bit-identical to the scalar path.  ``engine="scalar"`` forces the
+    per-config reference path, which evaluates configurations through
+    the runtime parallel executor (``jobs`` worker threads; serial by
+    default).  Fractions come back in input order either way.
     """
+    resolved = _resolve_engine(engine, session)
+    if resolved != "scalar":
+        try:
+            return _serialized_sweep_batch(configs, cluster, scenario,
+                                           suite, timing, session)
+        except Exception:
+            if resolved == "batch":
+                raise
     return parallel_map(
         lambda cfg: serialized_fraction(
             cfg[0], cfg[1], cfg[2], cluster,
@@ -206,6 +255,36 @@ def overlap_ratio(
     return ratio
 
 
+def _overlap_sweep_batch(
+    points: Sequence[Tuple[int, int]],
+    cluster: ClusterSpec,
+    scenario: Optional[HardwareScenario],
+    timing: TimingModels,
+    session: Optional["Session"],
+) -> List[float]:
+    """Batched overlap sweep (bit-identical to the scalar path)."""
+    from repro.core.batch import ConfigGrid, batch_overlap_roi
+
+    grid = ConfigGrid.from_overlap(points, tp=OVERLAP_TP, dp=OVERLAP_DP)
+
+    def compute() -> List[float]:
+        compute_time, comm_time = batch_overlap_roi(grid, cluster, timing)
+        return [
+            float("inf") if c == 0 else float(r / c)
+            for r, c in zip(comm_time, compute_time)
+        ]
+
+    if session is not None:
+        ratios = session.memo("overlap-roi-grid",
+                              (grid.key(), cluster, timing), compute)
+    else:
+        ratios = compute()
+    if scenario is not None:
+        factor = scenario.compute_scale / scenario.network_scale
+        ratios = [ratio * factor for ratio in ratios]
+    return list(ratios)
+
+
 def overlap_sweep(
     points: Sequence[Tuple[int, int]],
     cluster: ClusterSpec,
@@ -213,12 +292,23 @@ def overlap_sweep(
     timing: TimingModels = DEFAULT_TIMING,
     session: Optional["Session"] = None,
     jobs: int = 1,
+    engine: Optional[str] = None,
 ) -> List[float]:
     """Overlap ratios for a grid of ``(hidden, slb)`` points.
 
-    Same parallel-executor contract as :func:`serialized_sweep`:
-    ``jobs`` worker threads, results in input order.
+    Batch-engine contract mirrors :func:`serialized_sweep` (whole grid
+    at once, bit-identical, scalar fallback); the scalar path keeps the
+    parallel-executor contract: ``jobs`` worker threads, results in
+    input order.
     """
+    resolved = _resolve_engine(engine, session)
+    if resolved != "scalar":
+        try:
+            return _overlap_sweep_batch(points, cluster, scenario, timing,
+                                        session)
+        except Exception:
+            if resolved == "batch":
+                raise
     return parallel_map(
         lambda point: overlap_ratio(
             point[0], point[1], cluster,

@@ -2,16 +2,56 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
+from repro.core import scaling
+from repro.core.hyperparams import ParallelConfig
 from repro.experiments.base import ExperimentResult
+from repro.hardware.cluster import ClusterSpec, mi210_node
 from repro.models import zoo
+
+if TYPE_CHECKING:
+    from repro.runtime.session import Session
 
 __all__ = ["run", "main"]
 
 
-def run() -> ExperimentResult:
-    """Reproduce Table 2 with a computed-vs-reported size cross-check."""
+def _feasible_tp(model) -> int:
+    """Required TP degree clamped to the model's sharding constraints.
+
+    Some zoo models have head counts that are not powers of two (GPT-2
+    has 25); halve the estimator's degree until it divides both the head
+    count and the FC dimension.
+    """
+    tp = min(scaling.required_tp(model, max_tp=256), model.num_heads)
+    while tp > 1 and (model.num_heads % tp or model.ffn_dim % tp):
+        tp //= 2
+    return max(1, tp)
+
+
+def run(cluster: Optional[ClusterSpec] = None,
+        session: Optional["Session"] = None,
+        engine: Optional[str] = None) -> ExperimentResult:
+    """Reproduce Table 2 with a computed-vs-reported size cross-check.
+
+    Extends the paper's table with each model's feasible TP degree on
+    the MI210 testbed and the serialized-communication share it would
+    see there, evaluated as one batched grid across the zoo.
+    """
+    from repro.core.batch import serialized_fractions_for_pairs
+    from repro.experiments.sweeps import _resolve_engine
+
+    if cluster is None:
+        cluster = session.cluster if session is not None else mi210_node()
+    resolved = _resolve_engine(engine, session)
+    models = [zoo.MODEL_ZOO[entry["model"]] for entry in zoo.zoo_table()]
+    pairs = [(model, ParallelConfig(tp=_feasible_tp(model), dp=1))
+             for model in models]
+    fractions = serialized_fractions_for_pairs(pairs, cluster,
+                                               engine=resolved)
     rows = []
-    for entry in zoo.zoo_table():
+    for entry, (model, parallel), fraction in zip(zoo.zoo_table(), pairs,
+                                                  fractions):
         rows.append((
             entry["model"],
             entry["year"],
@@ -23,16 +63,23 @@ def run() -> ExperimentResult:
             entry["type"],
             f"{entry['reported_params_b']:.2f}",
             f"{entry['computed_params_b']:.2f}",
+            parallel.tp,
+            f"{fraction:.3f}",
         ))
     return ExperimentResult(
         experiment_id="table-2",
         title="NLP model hyperparameters (reported vs computed sizes, B)",
         headers=("model", "year", "layers", "H", "heads", "SL", "FC dim",
-                 "type", "size(B) reported", "size(B) computed"),
+                 "type", "size(B) reported", "size(B) computed",
+                 "feasible TP", "serialized frac"),
         rows=tuple(rows),
         notes=(
             "computed sizes count the layer stack only; T5/PaLM use "
             "non-standard blocks, so analyses use reported sizes",
+            "feasible TP: the Figure 9(b) required-TP estimate halved "
+            "until it divides the head count and FC dimension; "
+            "serialized frac: that configuration's share on the MI210 "
+            "testbed",
         ),
     )
 

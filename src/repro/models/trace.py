@@ -10,6 +10,7 @@ its overlap opportunity (Figure 3(a)).
 
 from __future__ import annotations
 
+import functools
 from typing import List
 
 from repro.core.hyperparams import (
@@ -23,12 +24,18 @@ from repro.models.graph import Op, Trace
 __all__ = ["training_trace", "forward_trace", "layer_trace"]
 
 
+@functools.lru_cache(maxsize=4096)
 def layer_trace(model: ModelConfig, parallel: ParallelConfig,
                 layer: int = 0) -> Trace:
     """Trace of a single layer's forward + backward execution.
 
     Per-layer behaviour is identical across a Transformer's layers, so
     most analyses run on a single-layer trace and scale by the layer count.
+
+    Memoized per ``(model, parallel, layer)`` (both configs are frozen
+    and hashable); repeated scalar-path calls stop rebuilding identical
+    op lists.  ``layer_trace.cache_clear()`` resets the cache (used by
+    cold-path benchmarks).
     """
     validate_model_parallel(model, parallel)
     ops: List[Op] = []

@@ -26,7 +26,17 @@ from __future__ import annotations
 import inspect
 import threading
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+)
+
+if TYPE_CHECKING:
+    from repro.core.batch import BatchBreakdown, ConfigGrid
 
 from repro.core.projection import (
     DEFAULT_BASELINE,
@@ -63,16 +73,28 @@ class Session:
             ``cache`` and ``cache_dir`` are None the cache is
             memory-only.
         jobs: Default parallelism for :meth:`run_all` (1 = serial).
+        engine: Sweep-evaluation engine: ``"auto"`` (batch with scalar
+            fallback, the default), ``"batch"`` (vectorized grids only;
+            ineligible grids raise), or ``"scalar"`` (reference
+            per-config path).
     """
+
+    ENGINES = ("auto", "scalar", "batch")
 
     def __init__(self,
                  cluster: Optional[ClusterSpec] = None,
                  timing: Optional[TimingModels] = None,
                  cache: Optional[ResultCache] = None,
                  cache_dir: Optional[str] = None,
-                 jobs: int = 1) -> None:
+                 jobs: int = 1,
+                 engine: str = "auto") -> None:
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either cache or cache_dir, not both")
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {self.ENGINES}"
+            )
+        self.engine = engine
         self.cluster = cluster if cluster is not None else mi210_node()
         self.timing = timing if timing is not None else DEFAULT_TIMING
         self.cache = cache if cache is not None else (
@@ -177,6 +199,45 @@ class Session:
         return schedule_with_durations(trace, durations,
                                        shared_network=shared_network)
 
+    def batch(self,
+              grid: "ConfigGrid",
+              cluster: Optional[ClusterSpec] = None,
+              timing: Optional[TimingModels] = None) -> "BatchBreakdown":
+        """Cache-backed batched ground truth for a whole config grid.
+
+        Equivalent to :func:`repro.core.batch.batch_execute` (itself
+        bit-identical to per-config ``execute_trace``), with the four
+        breakdown arrays replayed from the keyed cache on repeat grids.
+        """
+        import numpy as np
+
+        from repro.core.batch import BatchBreakdown, batch_execute
+
+        cluster = cluster if cluster is not None else self.cluster
+        timing = timing if timing is not None else self.timing
+
+        def compute() -> Dict[str, List[float]]:
+            breakdown = batch_execute(grid, cluster, timing)
+            return {
+                "compute_time": breakdown.compute_time.tolist(),
+                "serialized_comm_time":
+                    breakdown.serialized_comm_time.tolist(),
+                "overlapped_comm_time":
+                    breakdown.overlapped_comm_time.tolist(),
+                "iteration_time": breakdown.iteration_time.tolist(),
+            }
+
+        payload = self.memo("batch-breakdown",
+                            (grid.key(), cluster, timing), compute)
+        return BatchBreakdown(
+            compute_time=np.asarray(payload["compute_time"]),
+            serialized_comm_time=np.asarray(
+                payload["serialized_comm_time"]),
+            overlapped_comm_time=np.asarray(
+                payload["overlapped_comm_time"]),
+            iteration_time=np.asarray(payload["iteration_time"]),
+        )
+
     # -- experiment execution --------------------------------------------
 
     def _invoke(self, runner: Callable[..., ExperimentResult]
@@ -198,7 +259,7 @@ class Session:
 
         runner = registry.get_experiment(experiment_id)
         key = cache_key("experiment-result", CACHE_VERSION, experiment_id,
-                        self.fingerprint)
+                        self.fingerprint, self.engine)
         start = time.perf_counter()
         if use_cache:
             cached = self.cache.get(key)

@@ -12,9 +12,21 @@ from repro.sim.executor import (
 from repro.sim.overlap import execute_with_decomposition
 from repro.sim.profiler import KernelRecord, Profile, profile_trace
 from repro.sim.timeline import render_timeline, utilization_summary
+from repro.sim.vectorized import (
+    all_reduce_times,
+    closed_form_breakdown,
+    cluster_all_reduce_times,
+    elementwise_times,
+    gemm_times,
+)
 
 __all__ = [
     "Breakdown",
+    "all_reduce_times",
+    "closed_form_breakdown",
+    "cluster_all_reduce_times",
+    "elementwise_times",
+    "gemm_times",
     "ExecutionResult",
     "KernelRecord",
     "Profile",

@@ -14,7 +14,7 @@ start/finish times a full event queue would.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -115,60 +115,65 @@ def run_schedule(tasks: Sequence[Task]) -> Schedule:
     Raises:
         ValueError: on duplicate IDs, unknown dependency IDs, or cycles.
     """
-    by_id: Dict[str, Task] = {}
-    for task in tasks:
-        if task.id in by_id:
+    tasks = tuple(tasks)
+    index_of: Dict[str, int] = {}
+    for index, task in enumerate(tasks):
+        if task.id in index_of:
             raise ValueError(f"duplicate task id {task.id!r}")
-        by_id[task.id] = task
-    for task in tasks:
+        index_of[task.id] = index
+
+    # Resolve dependencies to indices once, folding in the implicit FIFO
+    # dependency on the previous task of the same resource.
+    n = len(tasks)
+    effective: List[List[int]] = []
+    last_on_resource: Dict[str, int] = {}
+    for index, task in enumerate(tasks):
+        deps: List[int] = []
         for dep in task.deps:
-            if dep not in by_id:
+            dep_index = index_of.get(dep)
+            if dep_index is None:
                 raise ValueError(
                     f"task {task.id!r} depends on unknown task {dep!r}"
                 )
-
-    # FIFO streams add an implicit dependency on the previous task of the
-    # same resource; fold those in before the topological pass.
-    effective_deps: Dict[str, Tuple[str, ...]] = {}
-    last_on_resource: Dict[str, str] = {}
-    for task in tasks:
-        deps = list(task.deps)
+            deps.append(dep_index)
         prev = last_on_resource.get(task.resource)
         if prev is not None:
             deps.append(prev)
-        effective_deps[task.id] = tuple(deps)
-        last_on_resource[task.resource] = task.id
+        effective.append(deps)
+        last_on_resource[task.resource] = index
 
-    # Kahn's algorithm over the effective dependency graph.
-    indegree: Dict[str, int] = {t.id: len(effective_deps[t.id]) for t in tasks}
-    dependents: Dict[str, List[str]] = defaultdict(list)
-    for task in tasks:
-        for dep in effective_deps[task.id]:
-            dependents[dep].append(task.id)
-    ready = [tid for tid, deg in indegree.items() if deg == 0]
-    order: List[str] = []
+    # Kahn's algorithm; the deque keeps the ready order deterministic
+    # (submission order among simultaneously-ready tasks), and start and
+    # finish times are computed in the same pass.
+    indegree = [len(deps) for deps in effective]
+    dependents: List[List[int]] = [[] for _ in range(n)]
+    for index, deps in enumerate(effective):
+        for dep_index in deps:
+            dependents[dep_index].append(index)
+    ready = deque(index for index, degree in enumerate(indegree)
+                  if degree == 0)
+    start = [0.0] * n
+    finish = [0.0] * n
+    processed = 0
     while ready:
-        tid = ready.pop()
-        order.append(tid)
-        for successor in dependents[tid]:
+        index = ready.popleft()
+        processed += 1
+        begin = 0.0
+        for dep_index in effective[index]:
+            dep_finish = finish[dep_index]
+            if dep_finish > begin:
+                begin = dep_finish
+        start[index] = begin
+        finish[index] = begin + tasks[index].duration
+        for successor in dependents[index]:
             indegree[successor] -= 1
             if indegree[successor] == 0:
                 ready.append(successor)
-    if len(order) != len(tasks):
+    if processed != n:
         raise ValueError("task graph contains a cycle")
 
-    finish: Dict[str, float] = {}
-    start: Dict[str, float] = {}
-    for tid in order:
-        task = by_id[tid]
-        begin = 0.0
-        for dep in effective_deps[tid]:
-            begin = max(begin, finish[dep])
-        start[tid] = begin
-        finish[tid] = begin + task.duration
-
     scheduled = tuple(
-        ScheduledTask(task=task, start=start[task.id], finish=finish[task.id])
-        for task in tasks
+        ScheduledTask(task=task, start=start[index], finish=finish[index])
+        for index, task in enumerate(tasks)
     )
     return Schedule(tasks=scheduled)
