@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the common workflows::
+Seven subcommands cover the common workflows::
 
     python -m repro analyze --hidden 8192 --tp 16 --dp 8   # one config
     python -m repro experiment figure-10                   # reproduce art.
@@ -8,13 +8,17 @@ Six subcommands cover the common workflows::
     python -m repro zoo --format csv                        # Table 2
     python -m repro forecast --start 2023 --end 2027        # future models
     python -m repro cache info                              # result cache
+    python -m repro check --configs 200 --seed 7            # verify engines
 
 ``analyze`` prints the Comp-vs-Comm breakdown of one configuration on the
 simulated MI210 testbed (optionally scaled to future hardware);
 ``experiment`` regenerates any registered paper table/figure through the
 shared runtime session (memoized model fits, keyed result cache, and an
 optional ``--jobs`` thread pool); ``cache`` inspects or clears the
-on-disk result store.
+on-disk result store; ``check`` runs the differential oracle and the
+fault-seeding self-test of :mod:`repro.sim.checker`.  ``analyze`` and
+``experiment`` accept ``--check`` (equivalently ``REPRO_CHECK=1``) to
+validate every schedule they execute against the engine invariants.
 """
 
 from __future__ import annotations
@@ -70,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="render an ASCII stream timeline")
     analyze.add_argument("--hotspots", type=int, default=0, metavar="N",
                          help="show the N hottest operators")
+    analyze.add_argument("--check", action="store_true",
+                         help="validate the schedule against the engine "
+                              "invariants (also: REPRO_CHECK=1)")
 
     experiment = subparsers.add_parser(
         "experiment", help="reproduce a paper table/figure"
@@ -99,6 +106,24 @@ def build_parser() -> argparse.ArgumentParser:
                                  "batch engine, the per-config scalar "
                                  "reference, or auto (batch with scalar "
                                  "fallback; default)")
+    experiment.add_argument("--check", action="store_true",
+                            help="validate every executed schedule and "
+                                 "batched breakdown against the engine "
+                                 "invariants (also: REPRO_CHECK=1)")
+
+    check = subparsers.add_parser(
+        "check", help="verify the engines: differential oracle + "
+                      "fault-seeding self-test"
+    )
+    check.add_argument("--configs", type=int, default=200, metavar="N",
+                       help="random configs for the differential oracle "
+                            "(default 200)")
+    check.add_argument("--seed", type=int, default=0,
+                       help="config-generator seed (default 0)")
+    check.add_argument("--skip-oracle", action="store_true",
+                       help="skip the scalar-vs-batch differential oracle")
+    check.add_argument("--skip-selftest", action="store_true",
+                       help="skip the fault-seeding self-test")
 
     zoo = subparsers.add_parser("zoo", help="print the Table 2 model zoo")
     zoo.add_argument("--format", choices=("text", "json", "csv"),
@@ -171,6 +196,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    from repro.sim.checker import check_enabled, validate_execution
+
+    if check_enabled(args.check or None):
+        try:
+            validate_execution(result)
+        except ValueError as error:
+            print(f"check failed: {error}", file=sys.stderr)
+            return 1
+        print("check: schedule and breakdown invariants hold")
     print(f"config: H={model.hidden} SL={model.seq_len} B={model.batch} "
           f"layers={model.num_layers} TP={parallel.tp} DP={parallel.dp} "
           f"({model.precision.value} on {args.device}, "
@@ -220,17 +254,19 @@ def _emit(text: str, output: Optional[str]) -> None:
 def _experiment_session(args: argparse.Namespace):
     """The session an ``experiment`` invocation runs under.
 
-    A ``--cache-dir`` or non-default ``--engine`` builds a dedicated
-    session; otherwise the process-wide shared session (memory-only
-    cache, memoized suite fits) is used.
+    A ``--cache-dir``, non-default ``--engine``, or ``--check`` builds a
+    dedicated session; otherwise the process-wide shared session
+    (memory-only cache, memoized suite fits) is used.
     """
     from repro.runtime.session import Session, get_session
 
     engine = getattr(args, "engine", "auto")
+    check = True if getattr(args, "check", False) else None
     if args.cache_dir:
-        return Session(cache_dir=args.cache_dir, engine=engine)
-    if engine != "auto":
-        return Session(engine=engine)
+        return Session(cache_dir=args.cache_dir, engine=engine,
+                       check=check)
+    if engine != "auto" or check:
+        return Session(engine=engine, check=check)
     return get_session()
 
 
@@ -333,6 +369,25 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.sim.checker import differential_oracle, fault_selftest
+
+    failed = False
+    if not args.skip_oracle:
+        try:
+            report_ = differential_oracle(n=args.configs, seed=args.seed)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(report_.summary())
+        failed = failed or not report_.ok
+    if not args.skip_selftest:
+        selftest = fault_selftest()
+        print(selftest.summary())
+        failed = failed or not selftest.ok
+    return 1 if failed else 0
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "experiment": _cmd_experiment,
@@ -340,6 +395,7 @@ _COMMANDS = {
     "forecast": _cmd_forecast,
     "plan": _cmd_plan,
     "cache": _cmd_cache,
+    "check": _cmd_check,
 }
 
 

@@ -23,6 +23,14 @@ from repro.core.hyperparams import (
     Precision,
     validate_model_parallel,
 )
+from repro.core.invariants import (
+    InvariantError,
+    Violation,
+    batch_violations,
+    breakdown_violations,
+    execution_violations,
+    schedule_violations,
+)
 from repro.core.projection import fit_operator_models
 from repro.core.roi import overlap_roi_timing
 from repro.core.scaling import required_tp
@@ -32,18 +40,24 @@ __all__ = [
     "BatchBreakdown",
     "ConfigGrid",
     "HardwareScenario",
+    "InvariantError",
     "LayerType",
     "ModelConfig",
     "PAPER_SCENARIOS",
     "ParallelConfig",
     "Precision",
+    "Violation",
     "amdahl_edge",
     "batch_execute",
     "batch_overlap_roi",
     "batch_project",
+    "batch_violations",
     "best_plan",
+    "breakdown_violations",
     "enumerate_plans",
+    "execution_violations",
     "fit_operator_models",
+    "schedule_violations",
     "serialized_fractions_for_pairs",
     "overlap_roi_timing",
     "required_tp",

@@ -33,20 +33,25 @@ class RunMeta:
         cache: ``"hit"``, ``"miss"``, or ``"off"``.
         session: Fingerprint of the session (cluster + timing models +
             cache version) that produced the result.
+        checked: Whether the producing session validated executions
+            against the engine invariants (``Session(check=True)``,
+            CLI ``--check``, or ``REPRO_CHECK=1``).
     """
 
     wall_time_s: float
     cache: str
     session: str
+    checked: bool = False
 
     def to_dict(self) -> Dict[str, object]:
         return {"wall_time_s": self.wall_time_s, "cache": self.cache,
-                "session": self.session}
+                "session": self.session, "checked": self.checked}
 
     def describe(self) -> str:
         """One-line human-readable form (the ``to_text`` meta line)."""
+        checked = ", checked" if self.checked else ""
         return (f"run: {self.wall_time_s * 1e3:.1f} ms "
-                f"(cache {self.cache}, session {self.session})")
+                f"(cache {self.cache}, session {self.session}{checked})")
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,7 @@ import os
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 __all__ = ["CACHE_VERSION", "CacheStats", "ResultCache",
            "default_cache_dir"]
@@ -80,43 +80,73 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.json"
 
-    def get(self, key: str) -> Optional[object]:
-        """The payload stored under ``key``, or None on a miss."""
+    def get(self, key: str, default: Optional[object] = None) -> object:
+        """The payload stored under ``key``, or ``default`` on a miss.
+
+        A cached ``None`` payload is a hit (and is returned as None), on
+        both the memory and the disk path.  The whole
+        miss -> disk read -> memory promote path runs under the cache
+        lock, so concurrent readers of one key account exactly one
+        hit/miss each and never double-promote.
+        """
         with self._lock:
             if key in self._memory:
                 self.stats.hits += 1
                 return self._memory[key]
-        payload = self._read_disk(key)
-        with self._lock:
-            if payload is not None:
+            found, payload = self._read_disk(key)
+            if found:
                 self._memory[key] = payload
                 self.stats.hits += 1
-            else:
-                self.stats.misses += 1
-        return payload
+                return payload
+            self.stats.misses += 1
+            return default
 
-    def _read_disk(self, key: str) -> Optional[object]:
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` is cached (memory or disk), without touching
+        the hit/miss counters or promoting the entry to memory."""
+        with self._lock:
+            if key in self._memory:
+                return True
+            found, _ = self._read_disk(key)
+            return found
+
+    __contains__ = contains
+
+    def _read_disk(self, key: str) -> Tuple[bool, Optional[object]]:
+        """``(found, payload)`` for the on-disk entry under ``key``.
+
+        The presence flag distinguishes a stored null payload from a
+        miss.  Envelopes written before the flag existed are treated as
+        present when they carry a ``payload`` entry.
+        """
         if not self.persistent:
-            return None
+            return False, None
         path = self._path(key)
         try:
             envelope = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
-            return None
+            return False, None
         if (not isinstance(envelope, dict)
                 or envelope.get("version") != self.version
                 or envelope.get("key") != key):
-            return None
-        return envelope.get("payload")
+            return False, None
+        if not envelope.get("present", "payload" in envelope):
+            return False, None
+        return True, envelope.get("payload")
 
     def put(self, key: str, payload: object) -> None:
-        """Store a JSON-serializable payload under ``key``."""
+        """Store a JSON-serializable payload under ``key``.
+
+        ``None`` is a legitimate payload: the envelope carries a
+        ``present`` flag, so a later :meth:`get` reports a hit.
+        """
         with self._lock:
             self._memory[key] = payload
             self.stats.writes += 1
         if not self.persistent:
             return
-        envelope = {"version": self.version, "key": key, "payload": payload}
+        envelope = {"version": self.version, "key": key,
+                    "payload": payload, "present": True}
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         # Tmp name must be unique per writer: concurrent processes (or

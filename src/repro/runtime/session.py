@@ -77,6 +77,11 @@ class Session:
             fallback, the default), ``"batch"`` (vectorized grids only;
             ineligible grids raise), or ``"scalar"`` (reference
             per-config path).
+        check: Validate every execution and batched breakdown against
+            the engine invariants (:mod:`repro.core.invariants`),
+            raising :class:`~repro.core.invariants.InvariantError` on
+            violation.  ``None`` (the default) defers to the
+            ``REPRO_CHECK`` environment variable.
     """
 
     ENGINES = ("auto", "scalar", "batch")
@@ -87,14 +92,18 @@ class Session:
                  cache: Optional[ResultCache] = None,
                  cache_dir: Optional[str] = None,
                  jobs: int = 1,
-                 engine: str = "auto") -> None:
+                 engine: str = "auto",
+                 check: Optional[bool] = None) -> None:
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either cache or cache_dir, not both")
         if engine not in self.ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; choose from {self.ENGINES}"
             )
+        from repro.sim.checker import check_enabled
+
         self.engine = engine
+        self.check = check_enabled(check)
         self.cluster = cluster if cluster is not None else mi210_node()
         self.timing = timing if timing is not None else DEFAULT_TIMING
         self.cache = cache if cache is not None else (
@@ -196,8 +205,13 @@ class Session:
         fresh ``execute_trace`` call).
         """
         durations = self.trace_durations(trace, cluster, timing)
-        return schedule_with_durations(trace, durations,
-                                       shared_network=shared_network)
+        result = schedule_with_durations(trace, durations,
+                                         shared_network=shared_network)
+        if self.check:
+            from repro.sim.checker import validate_execution
+
+            validate_execution(result)
+        return result
 
     def batch(self,
               grid: "ConfigGrid",
@@ -229,7 +243,7 @@ class Session:
 
         payload = self.memo("batch-breakdown",
                             (grid.key(), cluster, timing), compute)
-        return BatchBreakdown(
+        breakdown = BatchBreakdown(
             compute_time=np.asarray(payload["compute_time"]),
             serialized_comm_time=np.asarray(
                 payload["serialized_comm_time"]),
@@ -237,6 +251,11 @@ class Session:
                 payload["overlapped_comm_time"]),
             iteration_time=np.asarray(payload["iteration_time"]),
         )
+        if self.check:
+            from repro.sim.checker import validate_batch
+
+            validate_batch(breakdown)
+        return breakdown
 
     # -- experiment execution --------------------------------------------
 
@@ -266,14 +285,15 @@ class Session:
             if isinstance(cached, dict):
                 result = ExperimentResult.from_dict(cached)
                 meta = RunMeta(wall_time_s=time.perf_counter() - start,
-                               cache="hit", session=self.fingerprint)
+                               cache="hit", session=self.fingerprint,
+                               checked=self.check)
                 return result.with_meta(meta)
         result = self._invoke(runner)
         if use_cache:
             self.cache.put(key, result.to_dict())
         meta = RunMeta(wall_time_s=time.perf_counter() - start,
                        cache="miss" if use_cache else "off",
-                       session=self.fingerprint)
+                       session=self.fingerprint, checked=self.check)
         return result.with_meta(meta)
 
     def run_all(self,

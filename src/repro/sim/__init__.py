@@ -1,6 +1,15 @@
 """Simulated-testbed execution: scheduler, executor, profiler, breakdowns."""
 
 from repro.sim.breakdown import Breakdown
+from repro.sim.checker import (
+    check_enabled,
+    differential_oracle,
+    fault_selftest,
+    seeded_faults,
+    validate_batch,
+    validate_execution,
+    validate_schedule,
+)
 from repro.sim.engine import Schedule, Task, run_schedule
 from repro.sim.executor import (
     ExecutionResult,
@@ -33,12 +42,19 @@ __all__ = [
     "Schedule",
     "Task",
     "TimingModels",
+    "check_enabled",
+    "differential_oracle",
     "execute_trace",
     "execute_with_decomposition",
+    "fault_selftest",
     "op_duration",
     "profile_trace",
     "render_timeline",
     "run_schedule",
     "schedule_with_durations",
+    "seeded_faults",
     "utilization_summary",
+    "validate_batch",
+    "validate_execution",
+    "validate_schedule",
 ]

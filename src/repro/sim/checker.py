@@ -1,0 +1,547 @@
+"""Differential correctness harness for the simulation engines.
+
+The paper's headline claim -- <15% projection error at a ~2100x lower
+profiling cost -- rests on the simulator being correct, and the repo
+carries two independent engines (the scalar per-config path of
+:mod:`repro.sim.executor` and the vectorized batch path of
+:mod:`repro.core.batch`) whose agreement must hold bit-for-bit.  This
+module keeps them honest with three layers:
+
+1. **Schedule validation** (:func:`validate_schedule`,
+   :func:`validate_execution`, :func:`validate_batch`): assert the stream
+   invariants of :mod:`repro.core.invariants` on any schedule, execution
+   result, or batched breakdown.  Wired behind ``Session(check=True)``,
+   the CLI ``--check`` flag, and the ``REPRO_CHECK=1`` environment
+   variable so every experiment can self-verify without slowing default
+   runs.
+
+2. **Differential oracle** (:func:`differential_oracle`): seeded random
+   ``(H, SL, B, TP, DP)`` configurations run through the scalar engine,
+   the batch engine, and the closed-form operation/byte-count laws of
+   :mod:`repro.core.flops` as a third reference.  The first divergent
+   configuration is reported with an op-level duration diff
+   (:class:`OpDiff`) instead of a bare assert.
+
+3. **Fault-seeding self-test** (:func:`seeded_faults`,
+   :func:`fault_selftest`): mutate known-good schedules (swap two starts,
+   perturb a duration, drop a dependency, ...) and confirm the validator
+   flags every mutant while accepting the originals -- so the checker
+   itself is tested.
+
+Run both layers from the command line with ``python -m repro check``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core import flops
+from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.core.invariants import (
+    InvariantError,
+    Violation,
+    assert_valid,
+    batch_violations,
+    execution_violations,
+    schedule_violations,
+)
+from repro.hardware.cluster import ClusterSpec, mi210_node
+from repro.models.trace import layer_trace
+from repro.sim.engine import Schedule, ScheduledTask
+from repro.sim.executor import (
+    DEFAULT_TIMING,
+    ExecutionResult,
+    TimingModels,
+    execute_trace,
+    op_duration,
+)
+
+#: Render the full harness description (check layers, ``--check``,
+#: ``REPRO_CHECK``) into docs/API.md.
+__apidoc_full__ = True
+
+__all__ = [
+    "CHECK_ENV",
+    "check_enabled",
+    "validate_schedule",
+    "validate_execution",
+    "validate_batch",
+    "random_configs",
+    "OpDiff",
+    "Divergence",
+    "OracleReport",
+    "differential_oracle",
+    "seeded_faults",
+    "fault_selftest",
+    "SelfTestReport",
+]
+
+#: Environment variable that turns invariant checking on everywhere a
+#: :class:`~repro.runtime.session.Session` executes or batches a trace.
+CHECK_ENV = "REPRO_CHECK"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def check_enabled(explicit: Optional[bool] = None) -> bool:
+    """Whether invariant checking is on.
+
+    An explicit ``True``/``False`` wins; ``None`` defers to the
+    :data:`CHECK_ENV` environment variable (``1``/``true``/``yes``/``on``).
+    """
+    if explicit is not None:
+        return bool(explicit)
+    return os.environ.get(CHECK_ENV, "").strip().lower() in _TRUTHY
+
+
+def validate_schedule(schedule: Schedule) -> None:
+    """Raise :class:`InvariantError` unless the schedule is valid."""
+    assert_valid(schedule_violations(schedule), context="schedule")
+
+
+def validate_execution(result: ExecutionResult) -> None:
+    """Raise :class:`InvariantError` unless the execution is consistent
+    (schedule invariants + breakdown conservation)."""
+    assert_valid(execution_violations(result), context="execution")
+
+
+def validate_batch(batch) -> None:
+    """Raise :class:`InvariantError` unless a batched breakdown obeys the
+    conservation laws on every grid entry."""
+    assert_valid(batch_violations(batch), context="batch breakdown")
+
+
+# -- differential oracle -------------------------------------------------
+
+_HEAD_DIMS = (32, 64, 128)
+_HEADS_PER_TP = (1, 2, 4)
+_TP_DEGREES = (1, 2, 4, 8, 16, 32, 64)
+_DP_DEGREES = (1, 2, 4, 8, 16)
+_SEQ_LENS = (128, 256, 512, 1024, 2048, 4096)
+_BATCHES = (1, 2, 4, 8)
+
+
+def random_configs(n: int, seed: int = 0
+                   ) -> List[Tuple[ModelConfig, ParallelConfig]]:
+    """``n`` seeded random, always-valid ``(model, parallel)`` pairs.
+
+    Hidden dimensions are built as ``num_heads * head_dim`` with
+    ``num_heads`` a multiple of TP, so every divisibility constraint of
+    :class:`ModelConfig`/:class:`~repro.core.batch.ConfigGrid` holds by
+    construction.  The same ``(n, seed)`` always yields the same configs.
+    """
+    rng = random.Random(seed)
+    pairs: List[Tuple[ModelConfig, ParallelConfig]] = []
+    for index in range(n):
+        tp = rng.choice(_TP_DEGREES)
+        num_heads = tp * rng.choice(_HEADS_PER_TP)
+        hidden = num_heads * rng.choice(_HEAD_DIMS)
+        model = ModelConfig(
+            name=f"oracle-{index}",
+            hidden=hidden,
+            seq_len=rng.choice(_SEQ_LENS),
+            batch=rng.choice(_BATCHES),
+            num_heads=num_heads,
+        )
+        pairs.append((model, ParallelConfig(tp=tp,
+                                            dp=rng.choice(_DP_DEGREES))))
+    return pairs
+
+
+@dataclass(frozen=True)
+class OpDiff:
+    """One operator whose duration differs between the two engines."""
+
+    name: str
+    scalar: float
+    batch: float
+
+    @property
+    def delta(self) -> float:
+        return self.batch - self.scalar
+
+    def __str__(self) -> str:
+        return (f"{self.name}: scalar={self.scalar!r} batch={self.batch!r} "
+                f"(delta {self.delta:+.3e})")
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first configuration on which the engines (or laws) disagree.
+
+    Attributes:
+        index: Position in the generated config sequence.
+        model: The diverging model configuration.
+        parallel: The diverging distributed setup.
+        scalar: Scalar-engine breakdown.
+        batch: Batch-engine breakdown.
+        op_diffs: Per-operator duration differences (empty when the
+            breakdowns agree but an invariant or closed-form law failed).
+        violations: Invariant/closed-form violations found on the config.
+    """
+
+    index: int
+    model: ModelConfig
+    parallel: ParallelConfig
+    scalar: object
+    batch: object
+    op_diffs: Tuple[OpDiff, ...] = ()
+    violations: Tuple[Violation, ...] = ()
+
+    def describe(self) -> str:
+        """Multi-line report of what diverged and by how much."""
+        lines = [
+            f"config #{self.index}: H={self.model.hidden} "
+            f"SL={self.model.seq_len} B={self.model.batch} "
+            f"TP={self.parallel.tp} DP={self.parallel.dp}",
+            f"  scalar: {self.scalar}",
+            f"  batch:  {self.batch}",
+        ]
+        for diff in self.op_diffs:
+            lines.append(f"  op {diff}")
+        for violation in self.violations:
+            lines.append(f"  {violation}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """Outcome of one differential-oracle run.
+
+    Attributes:
+        configs: Number of configurations requested.
+        checked: Configurations compared before stopping (all of them
+            when no divergence was found).
+        seed: RNG seed the configs were generated from.
+        divergence: The first divergence, or None when the engines agree
+            everywhere.
+    """
+
+    configs: int
+    checked: int
+    seed: int
+    divergence: Optional[Divergence] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+    def summary(self) -> str:
+        if self.ok:
+            return (f"differential oracle: OK -- scalar and batch engines "
+                    f"agree bit-for-bit on {self.checked} seeded configs "
+                    f"(seed {self.seed})")
+        return (f"differential oracle: FAIL after {self.checked} configs "
+                f"(seed {self.seed})\n{self.divergence.describe()}")
+
+
+def _closed_form_violations(trace, model: ModelConfig,
+                            parallel: ParallelConfig) -> List[Violation]:
+    """Third-reference checks: trace totals vs the Section 3 closed forms.
+
+    GEMM operations and serialized all-reduce bytes must match
+    :mod:`repro.core.flops` exactly (integer identities); overlappable
+    gradient bytes are bounded by the closed-form weight-gradient bytes
+    (the closed form also counts biases, which the layer trace folds into
+    element-wise ops).
+    """
+    violations: List[Violation] = []
+    expected_flops = flops.training_layer_ops(model, parallel)
+    actual_flops = trace.total_gemm_flops()
+    if actual_flops != expected_flops:
+        violations.append(Violation(
+            "closed-form-flops", model.name,
+            f"trace GEMM ops {actual_flops} != Equations 1-4 total "
+            f"{expected_flops}",
+        ))
+    expected_ser = flops.serialized_comm_bytes(model, parallel)
+    actual_ser = trace.total_comm_bytes(overlappable=False)
+    if actual_ser != expected_ser:
+        violations.append(Violation(
+            "closed-form-serialized-bytes", model.name,
+            f"trace serialized bytes {actual_ser} != Equation 5 total "
+            f"{expected_ser}",
+        ))
+    overlappable = trace.total_comm_bytes(overlappable=True)
+    if parallel.dp > 1:
+        bound = flops.layer_weight_grad_bytes(model, parallel)
+        if not 0 < overlappable <= bound:
+            violations.append(Violation(
+                "closed-form-overlap-bytes", model.name,
+                f"trace overlappable bytes {overlappable} outside "
+                f"(0, {bound}] (Equation 8 weight-gradient bound)",
+            ))
+    elif overlappable != 0:
+        violations.append(Violation(
+            "closed-form-overlap-bytes", model.name,
+            f"DP=1 trace moves {overlappable} overlappable bytes; "
+            f"expected none",
+        ))
+    return violations
+
+
+def _op_diffs(trace, model: ModelConfig, parallel: ParallelConfig,
+              cluster: ClusterSpec, timing: TimingModels
+              ) -> Tuple[OpDiff, ...]:
+    """Per-operator duration diff between scalar and batch timing paths."""
+    from repro.core.batch import (
+        ConfigGrid,
+        _layer_slots,
+        _slot_durations,
+    )
+
+    grid = ConfigGrid.from_models([(model, parallel)])
+    slots = _layer_slots(grid, parallel.tp > 1, parallel.dp > 1)
+    batch_durations = _slot_durations(slots, grid, cluster, timing)
+    diffs = []
+    for op, slot, batch_values in zip(trace.ops, slots, batch_durations):
+        scalar_value = op_duration(op, trace, cluster, timing)
+        batch_value = float(batch_values[0])
+        if scalar_value != batch_value:
+            diffs.append(OpDiff(name=op.name, scalar=scalar_value,
+                                batch=batch_value))
+    return tuple(diffs)
+
+
+def differential_oracle(
+    n: int = 200,
+    seed: int = 0,
+    cluster: Optional[ClusterSpec] = None,
+    timing: TimingModels = DEFAULT_TIMING,
+) -> OracleReport:
+    """Run scalar vs batch vs closed-form laws on seeded random configs.
+
+    Every configuration is (a) executed by the scalar engine and checked
+    against the full invariant catalogue, (b) evaluated by the vectorized
+    batch engine and compared bit-for-bit, and (c) cross-checked against
+    the closed-form operation/byte-count laws.  Stops at the first
+    divergent configuration and reports it with an op-level duration
+    diff.
+    """
+    from repro.core.batch import ConfigGrid, batch_execute
+
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    cluster = cluster if cluster is not None else mi210_node()
+    pairs = random_configs(n, seed)
+    grid = ConfigGrid.from_models(pairs)
+    batched = batch_execute(grid, cluster, timing)
+    checked = 0
+    for index, (model, parallel) in enumerate(pairs):
+        trace = layer_trace(model, parallel)
+        result = execute_trace(trace, cluster, timing)
+        violations = execution_violations(result)
+        violations.extend(_closed_form_violations(trace, model, parallel))
+        scalar_breakdown = result.breakdown
+        batch_breakdown = batched.at(index)
+        checked += 1
+        if scalar_breakdown != batch_breakdown or violations:
+            op_diffs = ()
+            if scalar_breakdown != batch_breakdown:
+                op_diffs = _op_diffs(trace, model, parallel, cluster,
+                                     timing)
+            return OracleReport(
+                configs=n, checked=checked, seed=seed,
+                divergence=Divergence(
+                    index=index, model=model, parallel=parallel,
+                    scalar=scalar_breakdown, batch=batch_breakdown,
+                    op_diffs=op_diffs, violations=tuple(violations),
+                ),
+            )
+    return OracleReport(configs=n, checked=checked, seed=seed)
+
+
+# -- fault seeding -------------------------------------------------------
+
+
+def _rebuilt(schedule: Schedule, index: int,
+             mutated: ScheduledTask) -> Schedule:
+    tasks = list(schedule.tasks)
+    tasks[index] = mutated
+    return Schedule(tasks=tuple(tasks))
+
+
+def _fault_swap_starts(schedule: Schedule) -> Optional[Schedule]:
+    """Swap the start times of two same-resource tasks (FIFO break)."""
+    by_resource: dict = {}
+    for index, st in enumerate(schedule.tasks):
+        by_resource.setdefault(st.task.resource, []).append(index)
+    for indices in by_resource.values():
+        for first, second in zip(indices, indices[1:]):
+            a, b = schedule.tasks[first], schedule.tasks[second]
+            if a.start != b.start:
+                tasks = list(schedule.tasks)
+                tasks[first] = replace(a, start=b.start,
+                                       finish=b.start + a.task.duration)
+                tasks[second] = replace(b, start=a.start,
+                                        finish=a.start + b.task.duration)
+                return Schedule(tasks=tuple(tasks))
+    return None
+
+
+def _fault_perturb_duration(schedule: Schedule) -> Optional[Schedule]:
+    """Grow one task's duration without moving its finish time."""
+    for index, st in enumerate(schedule.tasks):
+        if st.task.duration > 0:
+            task = replace(st.task, duration=st.task.duration * 1.5)
+            return _rebuilt(schedule, index, replace(st, task=task))
+    return None
+
+
+def _fault_drop_dep(schedule: Schedule) -> Optional[Schedule]:
+    """Remove the binding dependency of a task (eager-start break)."""
+    finish_of = {st.task.id: st.finish for st in schedule.tasks}
+    resource_free: dict = {}
+    for index, st in enumerate(schedule.tasks):
+        free = resource_free.get(st.task.resource, 0.0)
+        for dep in st.task.deps:
+            others = [finish_of[d] for d in st.task.deps if d != dep]
+            remaining = max([0.0, free] + others)
+            if finish_of[dep] == st.start and remaining < st.start:
+                deps = tuple(d for d in st.task.deps if d != dep)
+                task = replace(st.task, deps=deps)
+                return _rebuilt(schedule, index, replace(st, task=task))
+        resource_free[st.task.resource] = max(free, st.finish)
+    return None
+
+
+def _fault_negative_start(schedule: Schedule) -> Optional[Schedule]:
+    """Shift one task before time zero."""
+    if not schedule.tasks:
+        return None
+    st = schedule.tasks[0]
+    return _rebuilt(schedule, 0,
+                    replace(st, start=-1.0,
+                            finish=-1.0 + st.task.duration))
+
+
+def _fault_overlap_intervals(schedule: Schedule) -> Optional[Schedule]:
+    """Slide a task on top of its same-resource predecessor."""
+    last_on_resource: dict = {}
+    for index, st in enumerate(schedule.tasks):
+        prev_index = last_on_resource.get(st.task.resource)
+        if prev_index is not None:
+            prev = schedule.tasks[prev_index]
+            if prev.task.duration > 0 and st.task.duration > 0:
+                start = prev.start
+                return _rebuilt(
+                    schedule, index,
+                    replace(st, start=start,
+                            finish=start + st.task.duration),
+                )
+        last_on_resource[st.task.resource] = index
+    return None
+
+
+_FAULTS = (
+    ("swap-starts", _fault_swap_starts),
+    ("perturb-duration", _fault_perturb_duration),
+    ("drop-dep", _fault_drop_dep),
+    ("negative-start", _fault_negative_start),
+    ("overlap-intervals", _fault_overlap_intervals),
+)
+
+
+def seeded_faults(schedule: Schedule) -> List[Tuple[str, Schedule]]:
+    """Deterministically mutated copies of a known-good schedule.
+
+    Each returned ``(name, schedule)`` pair violates at least one engine
+    invariant; mutations that do not apply to the given schedule (e.g. no
+    two tasks share a resource) are skipped.
+    """
+    mutants = []
+    for name, mutate in _FAULTS:
+        mutated = mutate(schedule)
+        if mutated is not None:
+            mutants.append((name, mutated))
+    return mutants
+
+
+@dataclass(frozen=True)
+class SelfTestReport:
+    """Outcome of the fault-seeding self-test.
+
+    Attributes:
+        schedules: Known-good schedules validated.
+        rejected_good: Good schedules the validator wrongly rejected.
+        faults: Seeded faults generated across all schedules.
+        caught: Seeded faults the validator flagged.
+        missed: ``(schedule, fault)`` labels of undetected faults.
+    """
+
+    schedules: int
+    rejected_good: int
+    faults: int
+    caught: int
+    missed: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.rejected_good == 0 and self.caught == self.faults
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAIL"
+        lines = [
+            f"fault-seeding self-test: {status} -- validator accepted "
+            f"{self.schedules - self.rejected_good}/{self.schedules} good "
+            f"schedules and caught {self.caught}/{self.faults} seeded "
+            f"faults",
+        ]
+        lines.extend(f"  missed: {label}" for label in self.missed)
+        return "\n".join(lines)
+
+
+def _reference_schedules(cluster: ClusterSpec,
+                         timing: TimingModels) -> List[Tuple[str, Schedule]]:
+    """Representative engine-produced schedules covering every stream."""
+    from repro.sim.overlap import execute_with_decomposition
+
+    model = ModelConfig(name="selftest", hidden=2048, seq_len=512, batch=2,
+                        num_heads=16)
+    schedules = []
+    for label, parallel in (
+        ("tp-dp", ParallelConfig(tp=8, dp=4)),
+        ("tp-only", ParallelConfig(tp=8, dp=1)),
+        ("serial", ParallelConfig(tp=1, dp=1)),
+    ):
+        trace = layer_trace(model, parallel)
+        schedules.append(
+            (label, execute_trace(trace, cluster, timing).schedule)
+        )
+    decomposed = execute_with_decomposition(
+        layer_trace(model, ParallelConfig(tp=8, dp=1)), cluster, chunks=4,
+        timing=timing,
+    )
+    schedules.append(("decomposed", decomposed.schedule))
+    return schedules
+
+
+def fault_selftest(cluster: Optional[ClusterSpec] = None,
+                   timing: TimingModels = DEFAULT_TIMING) -> SelfTestReport:
+    """Validate good schedules, then confirm every seeded fault is caught.
+
+    The good schedules come from the scalar engine across TP/DP parities
+    plus a chunked-decomposition execution, so the validator is exercised
+    on every stream layout the engines produce.
+    """
+    cluster = cluster if cluster is not None else mi210_node()
+    schedules = _reference_schedules(cluster, timing)
+    rejected_good = 0
+    faults = 0
+    caught = 0
+    missed: List[str] = []
+    for label, schedule in schedules:
+        if schedule_violations(schedule):
+            rejected_good += 1
+        for fault_name, mutated in seeded_faults(schedule):
+            faults += 1
+            if schedule_violations(mutated):
+                caught += 1
+            else:
+                missed.append(f"{label}/{fault_name}")
+    return SelfTestReport(schedules=len(schedules),
+                          rejected_good=rejected_good, faults=faults,
+                          caught=caught, missed=tuple(missed))

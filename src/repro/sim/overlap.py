@@ -92,7 +92,9 @@ def execute_with_decomposition(
 
     With ``chunks == 1`` this degenerates to the standard serialized
     execution.  Decomposition applies only where the all-reduce's producer
-    immediately precedes it and the GEMM has at least ``chunks`` rows.
+    immediately precedes it; the effective chunk count for each pair is
+    clamped to ``min(chunks, gemm.m, ar.nbytes)`` so no chunk ever has
+    zero GEMM rows or a zero-byte collective.
 
     Raises:
         ValueError: if ``chunks`` < 1.
@@ -107,13 +109,13 @@ def execute_with_decomposition(
     ops = trace.ops
     while index < len(ops):
         op = ops[index]
-        next_is_pair = (index + 1 in pair_indices
-                        and isinstance(op, GemmOp)
-                        and op.shape.m >= chunks)
-        if next_is_pair:
+        effective = 1
+        if index + 1 in pair_indices and isinstance(op, GemmOp):
+            effective = min(chunks, op.shape.m, ops[index + 1].nbytes)
+        if effective > 1:
             ar = ops[index + 1]
-            gemm_chunks = _chunked_gemm(op, chunks)
-            ar_chunks = _chunked_ar(ar, chunks)
+            gemm_chunks = _chunked_gemm(op, effective)
+            ar_chunks = _chunked_ar(ar, effective)
             ar_task_id = None
             for chunk, (gemm_op, ar_op) in enumerate(
                     zip(gemm_chunks, ar_chunks)):

@@ -5,6 +5,11 @@ writes a markdown reference built from the live docstrings: one section
 per module, with each public class and function's signature and summary
 paragraph.  Because it reads the imported objects, the reference can
 never drift from the code.
+
+Modules that set ``__apidoc_full__ = True`` (e.g.
+:mod:`repro.core.invariants`, whose docstring catalogues every engine
+invariant) render their complete module docstring instead of just the
+summary paragraph.
 """
 
 from __future__ import annotations
@@ -64,7 +69,10 @@ def render_module(name: str) -> str:
     """One module's markdown section (empty string if nothing public)."""
     module = importlib.import_module(name)
     lines: List[str] = [f"## `{name}`", ""]
-    summary = _summary(module)
+    if getattr(module, "__apidoc_full__", False):
+        summary = (inspect.getdoc(module) or "").strip()
+    else:
+        summary = _summary(module)
     if summary:
         lines.append(summary)
         lines.append("")

@@ -5,6 +5,16 @@ from __future__ import annotations
 import pytest
 
 from repro.core.hyperparams import ModelConfig, ParallelConfig
+from repro.hardware.gemm import GemmShape
+from repro.models.graph import (
+    CollectiveKind,
+    CommGroup,
+    CommOp,
+    GemmOp,
+    Phase,
+    SubLayer,
+    Trace,
+)
 from repro.models.trace import layer_trace
 from repro.sim.executor import execute_trace
 from repro.sim.overlap import decomposable_pairs, execute_with_decomposition
@@ -14,6 +24,21 @@ def _trace(hidden=8192, tp=16):
     model = ModelConfig(name="m", hidden=hidden, seq_len=2048, batch=1,
                         num_heads=max(tp, 64))
     return layer_trace(model, ParallelConfig(tp=tp, dp=1))
+
+
+def _pair_trace(m=8, nbytes=3):
+    """A minimal (producer GEMM -> serialized all-reduce) pair with
+    arbitrarily small row/byte counts."""
+    model = ModelConfig(name="tiny", hidden=256, seq_len=128, batch=1,
+                        num_heads=4)
+    ops = (
+        GemmOp(name="proj", shape=GemmShape(m=m, n=64, k=64),
+               phase=Phase.FORWARD, sublayer=SubLayer.ATTENTION),
+        CommOp(name="ar", collective=CollectiveKind.ALL_REDUCE,
+               nbytes=nbytes, group=CommGroup.TP, phase=Phase.FORWARD,
+               sublayer=SubLayer.ATTENTION, overlappable=False),
+    )
+    return Trace(model=model, parallel=ParallelConfig(tp=4, dp=1), ops=ops)
 
 
 class TestPairDetection:
@@ -73,6 +98,42 @@ class TestDecomposedExecution:
         chunked = execute_with_decomposition(trace, cluster,
                                              chunks=16).breakdown
         assert chunked.iteration_time > base.iteration_time
+
+    def test_nbytes_smaller_than_chunks_does_not_crash(self, cluster):
+        # Regression: chunks > ar.nbytes used to emit zero-byte all-reduce
+        # chunks, which CommOp rejects ("nbytes must be positive").
+        result = execute_with_decomposition(_pair_trace(m=8, nbytes=3),
+                                            cluster, chunks=4)
+        assert result.breakdown.iteration_time > 0
+
+    def test_nbytes_clamp_matches_explicit_chunk_count(self, cluster):
+        # chunks=4 on a 3-byte reduce clamps to 3 effective chunks.
+        clamped = execute_with_decomposition(_pair_trace(m=8, nbytes=3),
+                                             cluster, chunks=4)
+        explicit = execute_with_decomposition(_pair_trace(m=8, nbytes=3),
+                                              cluster, chunks=3)
+        assert clamped.breakdown == explicit.breakdown
+        assert len(clamped.schedule.tasks) == len(explicit.schedule.tasks)
+
+    def test_m_smaller_than_chunks_clamps_to_m(self, cluster):
+        # chunks=16 on an 8-row GEMM clamps to 8 effective chunks.
+        trace = _pair_trace(m=8, nbytes=1 << 20)
+        clamped = execute_with_decomposition(trace, cluster, chunks=16)
+        explicit = execute_with_decomposition(trace, cluster, chunks=8)
+        assert clamped.breakdown == explicit.breakdown
+
+    def test_chunks_one_on_pair_trace_matches_baseline(self, cluster):
+        trace = _pair_trace(m=8, nbytes=1 << 20)
+        base = execute_trace(trace, cluster).breakdown
+        same = execute_with_decomposition(trace, cluster,
+                                          chunks=1).breakdown
+        assert same == base
+
+    def test_decomposed_schedule_satisfies_invariants(self, cluster):
+        from repro.core.invariants import schedule_violations
+
+        result = execute_with_decomposition(_trace(), cluster, chunks=4)
+        assert schedule_violations(result.schedule) == []
 
     def test_overlappable_comm_untouched(self, cluster):
         model = ModelConfig(name="m", hidden=8192, seq_len=2048, batch=1,

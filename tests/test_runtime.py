@@ -104,6 +104,70 @@ class TestResultCache:
         assert ResultCache(cache_dir=tmp_path).get("k") == {"value": 7}
         assert not list(tmp_path.glob("*.tmp"))
 
+    def test_none_payload_memory_hit(self):
+        # A cached None is a legitimate payload, not a miss.
+        cache = ResultCache()
+        cache.put("k", None)
+        sentinel = object()
+        assert cache.get("k", sentinel) is None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 0
+
+    def test_none_payload_disk_hit(self, tmp_path):
+        # Regression: the disk path used to report a stored null payload
+        # as a miss while the memory path reported a hit.
+        ResultCache(cache_dir=tmp_path).put("k", None)
+        reopened = ResultCache(cache_dir=tmp_path)
+        sentinel = object()
+        assert reopened.get("k", sentinel) is None
+        assert reopened.stats.hits == 1
+        assert reopened.stats.misses == 0
+
+    def test_none_payload_version_roundtrip(self, tmp_path):
+        ResultCache(cache_dir=tmp_path).put("k", None)
+        newer = ResultCache(cache_dir=tmp_path, version="999")
+        assert newer.get("k", "MISS") == "MISS"
+
+    def test_get_default_on_miss(self):
+        cache = ResultCache()
+        assert cache.get("absent", {"fallback": True}) == {
+            "fallback": True}
+
+    def test_contains_protocol(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        cache.put("mem", 1)
+        ResultCache(cache_dir=tmp_path).put("disk", None)
+        assert cache.contains("mem")
+        assert "disk" in cache  # found on disk, even with a None payload
+        assert "absent" not in cache
+
+    def test_contains_leaves_stats_alone(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        cache.put("k", 1)
+        before = cache.stats.as_dict()
+        assert "k" in cache and "absent" not in cache
+        assert cache.stats.as_dict() == before
+
+    def test_legacy_envelope_without_presence_flag(self, tmp_path):
+        # Envelopes written before the presence flag existed still read
+        # as hits when they carry a payload entry.
+        (tmp_path / "old.json").write_text(
+            json.dumps({"version": CACHE_VERSION, "key": "old",
+                        "payload": {"value": 5}}),
+            encoding="utf-8",
+        )
+        assert ResultCache(cache_dir=tmp_path).get("old") == {"value": 5}
+
+    def test_concurrent_readers_account_once_each(self, tmp_path):
+        # The miss -> disk -> promote path is atomic w.r.t. stats:
+        # N readers of one warm key account exactly N hits.
+        ResultCache(cache_dir=tmp_path).put("k", {"value": 7})
+        reader = ResultCache(cache_dir=tmp_path)
+        parallel_map(lambda _: reader.get("k"), range(16), jobs=8)
+        stats = reader.stats.as_dict()
+        assert stats["hits"] == 16
+        assert stats["misses"] == 0
+
     def test_clear_removes_memory_and_disk(self, tmp_path):
         cache = ResultCache(cache_dir=tmp_path)
         cache.put("k1", {"value": 1})
@@ -315,6 +379,32 @@ class TestSessionDefaults:
     def test_cache_and_cache_dir_mutually_exclusive(self, tmp_path):
         with pytest.raises(ValueError, match="not both"):
             Session(cache=ResultCache(), cache_dir=tmp_path)
+
+
+class TestSessionCheck:
+    def test_check_defaults_off(self, session):
+        assert session.check is False
+
+    def test_env_enables_check(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        assert Session().check is True
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        assert Session(check=False).check is False
+
+    def test_checked_execution_matches_unchecked(self, small_model):
+        trace = layer_trace(small_model, ParallelConfig(tp=8, dp=2))
+        plain = Session().execute(trace)
+        checked = Session(check=True).execute(trace)
+        assert checked.breakdown == plain.breakdown
+
+    def test_run_meta_records_checked(self):
+        result = Session(check=True).run("table-3", use_cache=False)
+        assert result.meta.checked is True
+        assert "checked" in result.meta.describe()
+        assert Session().run("table-3",
+                             use_cache=False).meta.checked is False
 
 
 class TestSweepHelpers:
