@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the common workflows::
+Eight subcommands cover the common workflows::
 
     python -m repro analyze --hidden 8192 --tp 16 --dp 8   # one config
     python -m repro experiment figure-10                   # reproduce art.
@@ -9,16 +9,23 @@ Seven subcommands cover the common workflows::
     python -m repro forecast --start 2023 --end 2027        # future models
     python -m repro cache info                              # result cache
     python -m repro check --configs 200 --seed 7            # verify engines
+    python -m repro search --hidden 1024,...,16384 --tp 2,...,64 \\
+        --jobs 4 --reduce top-k --reduce pareto             # design space
 
 ``analyze`` prints the Comp-vs-Comm breakdown of one configuration on the
 simulated MI210 testbed (optionally scaled to future hardware);
 ``experiment`` regenerates any registered paper table/figure through the
 shared runtime session (memoized model fits, keyed result cache, and an
 optional ``--jobs`` thread pool); ``cache`` inspects or clears the
-on-disk result store; ``check`` runs the differential oracle and the
-fault-seeding self-test of :mod:`repro.sim.checker`.  ``analyze`` and
-``experiment`` accept ``--check`` (equivalently ``REPRO_CHECK=1``) to
-validate every schedule they execute against the engine invariants.
+on-disk result store; ``check`` runs the differential oracle, the
+fault-seeding self-test, and the streamed-vs-one-shot oracle of
+:mod:`repro.sim.checker`; ``search`` streams an arbitrarily large
+``(H, SL, B, TP, DP)`` grid through chunked process-parallel evaluation
+(:func:`repro.runtime.megasweep.stream_sweep`) and reports online
+reductions (top-k, Pareto frontier, serialized-fraction histogram)
+instead of raw rows.  ``analyze``, ``experiment``, and ``search`` accept
+``--check`` (equivalently ``REPRO_CHECK=1``) to validate every schedule
+or batched breakdown against the engine invariants.
 """
 
 from __future__ import annotations
@@ -34,6 +41,19 @@ from repro.hardware.specs import DEVICE_CATALOG, get_device
 from repro.models.trace import training_trace
 
 __all__ = ["build_parser", "main"]
+
+
+def _int_list(text: str) -> List[int]:
+    """Parse a comma-separated axis value like ``1024,2048,4096``."""
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        )
+    if not values:
+        raise argparse.ArgumentTypeError("axis must list at least one value")
+    return values
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -124,6 +144,69 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the scalar-vs-batch differential oracle")
     check.add_argument("--skip-selftest", action="store_true",
                        help="skip the fault-seeding self-test")
+    check.add_argument("--skip-stream", action="store_true",
+                       help="skip the streamed-vs-one-shot sweep oracle")
+    check.add_argument("--stream-jobs", type=int, default=2, metavar="N",
+                       help="max worker processes exercised by the "
+                            "stream oracle (default 2)")
+
+    search = subparsers.add_parser(
+        "search", help="stream a large (H, SL, B, TP, DP) grid through "
+                       "chunked parallel evaluation + online reducers"
+    )
+    search.add_argument("--hidden", type=_int_list, required=True,
+                        metavar="H1,H2,...",
+                        help="hidden-dimension axis (comma-separated)")
+    search.add_argument("--seq-len", type=_int_list, required=True,
+                        metavar="S1,S2,...", help="sequence-length axis")
+    search.add_argument("--batch", type=_int_list, default=[1],
+                        metavar="B1,B2,...",
+                        help="batch-size axis (default 1)")
+    search.add_argument("--tp", type=_int_list, default=[1],
+                        metavar="T1,T2,...",
+                        help="tensor-parallel axis (default 1)")
+    search.add_argument("--dp", type=_int_list, default=[1],
+                        metavar="D1,D2,...",
+                        help="data-parallel axis (default 1)")
+    search.add_argument("--max-world", type=int, default=None, metavar="N",
+                        help="drop configs with TP*DP > N devices")
+    search.add_argument("--max-memory-gb", type=float, default=None,
+                        metavar="GB",
+                        help="drop configs whose per-device training "
+                             "state exceeds GB (checkpointed activations)")
+    search.add_argument("--mode", choices=("execute", "project"),
+                        default="execute",
+                        help="ground-truth batch engine (default) or "
+                             "operator-model projection")
+    search.add_argument("--chunk-size", type=int, default=None, metavar="N",
+                        help="rows evaluated per chunk (default 4096); "
+                             "bounds peak memory")
+    search.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes (default 1 = in-process; "
+                             "-1 = CPU count)")
+    search.add_argument("--reduce", action="append",
+                        choices=("top-k", "pareto", "hist", "extrema"),
+                        default=None,
+                        help="reduction to apply (repeatable; default: "
+                             "top-k + pareto + hist)")
+    search.add_argument("--metric", default="iteration_time",
+                        help="breakdown metric for top-k/extrema "
+                             "(default iteration_time)")
+    search.add_argument("--k", type=int, default=10,
+                        help="top-k size (default 10)")
+    search.add_argument("--largest", action="store_true",
+                        help="rank top-k descending (default: smallest "
+                             "metric values win)")
+    search.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist per-chunk partials under DIR")
+    search.add_argument("--check", action="store_true",
+                        help="validate every chunk's breakdown against "
+                             "the engine invariants (also: REPRO_CHECK=1)")
+    search.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="output format (default text)")
+    search.add_argument("--output", "-o", default=None,
+                        help="write to a file instead of stdout")
 
     zoo = subparsers.add_parser("zoo", help="print the Table 2 model zoo")
     zoo.add_argument("--format", choices=("text", "json", "csv"),
@@ -370,7 +453,11 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    from repro.sim.checker import differential_oracle, fault_selftest
+    from repro.sim.checker import (
+        differential_oracle,
+        fault_selftest,
+        stream_oracle,
+    )
 
     failed = False
     if not args.skip_oracle:
@@ -385,7 +472,137 @@ def _cmd_check(args: argparse.Namespace) -> int:
         selftest = fault_selftest()
         print(selftest.summary())
         failed = failed or not selftest.ok
+    if not args.skip_stream:
+        jobs = sorted({1, max(1, args.stream_jobs)})
+        stream = stream_oracle(jobs=jobs)
+        print(stream.summary())
+        failed = failed or not stream.ok
     return 1 if failed else 0
+
+
+def _format_config(config: List[int]) -> str:
+    hidden, seq_len, batch, tp, dp = config
+    return f"H={hidden} SL={seq_len} B={batch} TP={tp} DP={dp}"
+
+
+def _render_search_text(result) -> str:
+    lines = [
+        f"sweep: {result.evaluated_points:,}/{result.raw_points:,} points "
+        f"evaluated in {result.chunk_count} chunks "
+        f"(chunk size {result.chunk_size}, jobs {result.jobs}, "
+        f"mode {result.mode}, {result.wall_time_s:.2f}s, "
+        f"cache hits {result.cache_hits})"
+    ]
+    for label, payload in result.reductions.items():
+        value_fmt = format_pct if label.endswith("fraction") else format_ms
+        lines.append("")
+        lines.append(f"{label}:")
+        if "entries" in payload:
+            entries = payload["entries"]
+            if not entries:
+                lines.append("  (empty)")
+            for entry in entries:
+                if "value" in entry:
+                    lines.append(f"  {_format_config(entry['config'])}  "
+                                 f"{value_fmt(entry['value'])}")
+                else:
+                    lines.append(f"  {_format_config(entry['config'])}  "
+                                 f"x={format_ms(entry['x'])} "
+                                 f"y={format_ms(entry['y'])}")
+        elif "counts" in payload:
+            if payload["count"]:
+                lines.append(
+                    f"  n={payload['count']:,} mean={payload['mean']:.4f} "
+                    f"p50={payload['p50']:.4f} p90={payload['p90']:.4f} "
+                    f"p99={payload['p99']:.4f} "
+                    f"range=[{payload['min']:.4f}, {payload['max']:.4f}]"
+                )
+            else:
+                lines.append("  (empty)")
+        else:
+            for name in ("min", "max"):
+                entry = payload.get(name)
+                if entry is not None:
+                    lines.append(f"  {name}: "
+                                 f"{_format_config(entry['config'])}  "
+                                 f"{format_ms(entry['value'])}")
+    return "\n".join(lines)
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.gridplan import (
+        FitsDeviceMemory,
+        GridConstraint,
+        GridSpec,
+        MaxWorldSize,
+    )
+    from repro.core.reducers import (
+        ArgExtrema,
+        Histogram,
+        ParetoFront,
+        TopK,
+    )
+    from repro.runtime.session import Session, get_session
+
+    constraints: List[GridConstraint] = []
+    if args.max_world is not None:
+        constraints.append(MaxWorldSize(args.max_world))
+    if args.max_memory_gb is not None:
+        constraints.append(FitsDeviceMemory(
+            capacity_bytes=int(args.max_memory_gb * (1 << 30))
+        ))
+    kinds = args.reduce or ["top-k", "pareto", "hist"]
+    try:
+        spec = GridSpec(
+            hidden=tuple(args.hidden),
+            seq_len=tuple(args.seq_len),
+            batch=tuple(args.batch),
+            tp=tuple(args.tp),
+            dp=tuple(args.dp),
+            constraints=tuple(constraints),
+        )
+        reducers = []
+        for kind in dict.fromkeys(kinds):
+            if kind == "top-k":
+                reducers.append(TopK(args.metric, k=args.k,
+                                     largest=args.largest))
+            elif kind == "pareto":
+                reducers.append(ParetoFront())
+            elif kind == "hist":
+                reducers.append(Histogram("serialized_comm_fraction"))
+            else:
+                reducers.append(ArgExtrema(args.metric))
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    session = Session(cache_dir=args.cache_dir,
+                      check=True if args.check else None) \
+        if (args.cache_dir or args.check) else get_session()
+    try:
+        result = session.stream_sweep(
+            spec, reducers, mode=args.mode,
+            chunk_size=args.chunk_size, jobs=args.jobs,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        document = {
+            "raw_points": result.raw_points,
+            "evaluated_points": result.evaluated_points,
+            "chunk_count": result.chunk_count,
+            "chunk_size": result.chunk_size,
+            "jobs": result.jobs,
+            "mode": result.mode,
+            "cache_hits": result.cache_hits,
+            "reductions": result.reductions,
+        }
+        _emit(json.dumps(document, indent=2), args.output)
+    else:
+        _emit(_render_search_text(result), args.output)
+    return 0
 
 
 _COMMANDS = {
@@ -396,6 +613,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "cache": _cmd_cache,
     "check": _cmd_check,
+    "search": _cmd_search,
 }
 
 

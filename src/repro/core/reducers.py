@@ -1,0 +1,570 @@
+"""Online, order-independent reducers for streaming sweeps.
+
+A million-point design-space sweep must come back as kilobytes, not as a
+million breakdown rows.  Each reducer here folds one evaluated chunk
+(:class:`EvaluatedChunk`) into a compact, JSON-serializable *partial
+state*, and merges partial states associatively, so a process-pool sweep
+can reduce chunks wherever they were evaluated and combine the pieces in
+any grouping.
+
+Determinism is a hard contract: for a fixed grid, every reducer's final
+output is **bit-identical** regardless of chunk size or arrival order.
+
+* Selection reducers (:class:`TopK`, :class:`ParetoFront`,
+  :class:`ArgExtrema`, :class:`Collect`) order candidates by a strict
+  total order -- metric value first, unique raw-grid offset as the tie
+  breaker -- so k-best / non-dominated / extrema selection is associative
+  and commutative.
+* :class:`Histogram` keeps integer bin counts plus a Shewchuk
+  exact-partials accumulator for the running sum: the represented sum is
+  *exact*, so the final correctly-rounded mean is independent of how the
+  inputs were grouped -- a chunked fold reproduces a single
+  whole-grid fold bit for bit.
+
+Metric names accepted everywhere: the four stored breakdown columns plus
+the derived properties of :class:`~repro.core.batch.BatchBreakdown`
+(:data:`METRICS`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.batch import BatchBreakdown
+
+__all__ = [
+    "METRICS",
+    "metric_values",
+    "EvaluatedChunk",
+    "Reducer",
+    "TopK",
+    "ParetoFront",
+    "Histogram",
+    "ArgExtrema",
+    "Collect",
+    "exact_sum_add",
+    "exact_sum_merge",
+    "exact_sum_value",
+]
+
+#: Metric names resolvable against a :class:`BatchBreakdown`.
+METRICS: Tuple[str, ...] = (
+    "compute_time",
+    "serialized_comm_time",
+    "overlapped_comm_time",
+    "iteration_time",
+    "exposed_comm_time",
+    "serialized_comm_fraction",
+    "critical_comm_fraction",
+)
+
+#: Sweep columns echoed into reducer outputs for each reported config.
+_CONFIG_COLUMNS = ("hidden", "seq_len", "batch", "tp", "dp")
+
+
+def metric_values(name: str, breakdown: BatchBreakdown) -> np.ndarray:
+    """The named metric as a per-config array.
+
+    Raises:
+        KeyError: for unknown metric names (lists the known ones).
+    """
+    if name not in METRICS:
+        raise KeyError(f"unknown metric {name!r}; known: {list(METRICS)}")
+    return np.asarray(getattr(breakdown, name), dtype=np.float64)
+
+
+@dataclass(frozen=True, eq=False)
+class EvaluatedChunk:
+    """One evaluated grid chunk, as reducers consume it.
+
+    Attributes:
+        offsets: Raw-product offset of each row (unique, deterministic).
+        columns: The five sweep columns, parallel to ``offsets``.
+        breakdown: Per-row breakdowns from the batch engine.
+    """
+
+    offsets: np.ndarray
+    columns: Mapping[str, np.ndarray]
+    breakdown: BatchBreakdown
+
+    def __len__(self) -> int:
+        return int(self.offsets.shape[0])
+
+    def config_rows(self, indices: np.ndarray) -> List[List[int]]:
+        """``[H, SL, B, TP, DP]`` rows for the selected indices."""
+        stacked = [self.columns[name][indices] for name in _CONFIG_COLUMNS]
+        return [
+            [int(column[i]) for column in stacked]
+            for i in range(len(indices))
+        ]
+
+
+# -- exactly-rounded streaming sums --------------------------------------
+
+
+def exact_sum_add(partials: List[float], values: Sequence[float]
+                  ) -> List[float]:
+    """Fold ``values`` into a Shewchuk exact-partials accumulator.
+
+    The partials represent the running sum *exactly* (they are
+    non-overlapping floats), so folding is associative and commutative in
+    exact arithmetic; only :func:`exact_sum_value` rounds, once.
+    """
+    for x in values:
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                partials[i] = lo
+                i += 1
+            x = hi
+        partials[i:] = [x]
+    return partials
+
+
+def exact_sum_merge(a: List[float], b: List[float]) -> List[float]:
+    """Merge two exact-partial accumulators (still exact)."""
+    return exact_sum_add(list(a), b)
+
+
+def exact_sum_value(partials: Sequence[float]) -> float:
+    """The correctly-rounded value of an exact-partials accumulator."""
+    return math.fsum(partials)
+
+
+# -- reducer protocol ----------------------------------------------------
+
+
+class Reducer:
+    """One online reduction over evaluated chunks.
+
+    The partial-state contract: :meth:`observe` maps a chunk to a
+    JSON-serializable payload, :meth:`merge` combines two payloads
+    associatively (with :meth:`empty` as the identity), and
+    :meth:`finalize` renders the merged payload into the reported
+    result.  Payload JSON-compatibility is what lets the runtime cache
+    persist per-chunk partials and the process pool ship them compactly.
+    """
+
+    #: Reducer-kind tag used in labels and content keys.
+    kind: str = "reducer"
+
+    @property
+    def label(self) -> str:
+        """Display/lookup name of this reducer within one sweep."""
+        raise NotImplementedError
+
+    def key(self) -> Tuple[object, ...]:
+        """Stable content tuple (for cache keys)."""
+        raise NotImplementedError
+
+    def empty(self) -> Dict[str, object]:
+        """The identity payload (an empty chunk's observation)."""
+        raise NotImplementedError
+
+    def observe(self, chunk: EvaluatedChunk) -> Dict[str, object]:
+        """Reduce one evaluated chunk to a partial payload."""
+        raise NotImplementedError
+
+    def merge(self, a: Dict[str, object],
+              b: Dict[str, object]) -> Dict[str, object]:
+        """Combine two partial payloads (associative, deterministic)."""
+        raise NotImplementedError
+
+    def finalize(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Render the merged payload into the reported result."""
+        return payload
+
+
+def _entry_sort_key(entry: Mapping[str, object]) -> Tuple[float, int]:
+    return (float(entry["value"]), int(entry["offset"]))
+
+
+def _entries(chunk: EvaluatedChunk, metric: str,
+             indices: np.ndarray) -> List[Dict[str, object]]:
+    values = metric_values(metric, chunk.breakdown)[indices]
+    offsets = chunk.offsets[indices]
+    configs = chunk.config_rows(indices)
+    return [
+        {"value": float(value), "offset": int(offset), "config": config}
+        for value, offset, config in zip(values, offsets, configs)
+    ]
+
+
+@dataclass(frozen=True)
+class TopK(Reducer):
+    """The ``k`` best configurations by one breakdown metric.
+
+    Ties break on the raw-grid offset (ascending), making the selection a
+    strict total order: merging per-chunk top-k lists in any grouping
+    yields the same final k.
+    """
+
+    metric: str
+    k: int = 10
+    largest: bool = True
+
+    kind = "top-k"
+
+    def __post_init__(self) -> None:
+        metric_values(self.metric, _EMPTY_BREAKDOWN)  # validate the name
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+
+    @property
+    def label(self) -> str:
+        direction = "max" if self.largest else "min"
+        return f"top{self.k}-{direction}:{self.metric}"
+
+    def key(self) -> Tuple[object, ...]:
+        return (self.kind, self.metric, self.k, self.largest)
+
+    def empty(self) -> Dict[str, object]:
+        return {"entries": []}
+
+    def _select(self, entries: List[Dict[str, object]]
+                ) -> List[Dict[str, object]]:
+        entries.sort(key=lambda e: (
+            -e["value"] if self.largest else e["value"], e["offset"]
+        ))
+        return entries[:self.k]
+
+    def observe(self, chunk: EvaluatedChunk) -> Dict[str, object]:
+        if len(chunk) == 0:
+            return self.empty()
+        values = metric_values(self.metric, chunk.breakdown)
+        order = np.argsort(-values if self.largest else values,
+                           kind="stable")[:self.k]
+        return {"entries": self._select(_entries(chunk, self.metric,
+                                                 order))}
+
+    def merge(self, a: Dict[str, object],
+              b: Dict[str, object]) -> Dict[str, object]:
+        return {"entries": self._select(list(a["entries"])
+                                        + list(b["entries"]))}
+
+
+@dataclass(frozen=True)
+class ParetoFront(Reducer):
+    """Non-dominated configurations over two minimized metrics.
+
+    Defaults to the paper's tension axes: compute time vs exposed
+    communication.  A point is dominated when another point is <= on
+    both metrics and either strictly better on one or an exact duplicate
+    with a lower offset -- a strict partial order, so union-then-filter
+    merging is associative and the frontier is duplicate-free.
+    """
+
+    metric_x: str = "compute_time"
+    metric_y: str = "exposed_comm_time"
+
+    kind = "pareto"
+
+    def __post_init__(self) -> None:
+        metric_values(self.metric_x, _EMPTY_BREAKDOWN)
+        metric_values(self.metric_y, _EMPTY_BREAKDOWN)
+
+    @property
+    def label(self) -> str:
+        return f"pareto:{self.metric_x}/{self.metric_y}"
+
+    def key(self) -> Tuple[object, ...]:
+        return (self.kind, self.metric_x, self.metric_y)
+
+    def empty(self) -> Dict[str, object]:
+        return {"entries": []}
+
+    @staticmethod
+    def _frontier(entries: List[Dict[str, object]]
+                  ) -> List[Dict[str, object]]:
+        entries.sort(key=lambda e: (e["x"], e["y"], e["offset"]))
+        kept: List[Dict[str, object]] = []
+        best_y = math.inf
+        for entry in entries:
+            if entry["y"] < best_y:
+                kept.append(entry)
+                best_y = entry["y"]
+        return kept
+
+    def observe(self, chunk: EvaluatedChunk) -> Dict[str, object]:
+        if len(chunk) == 0:
+            return self.empty()
+        xs = metric_values(self.metric_x, chunk.breakdown)
+        ys = metric_values(self.metric_y, chunk.breakdown)
+        configs = chunk.config_rows(np.arange(len(chunk)))
+        entries = [
+            {"x": float(x), "y": float(y), "offset": int(offset),
+             "config": config}
+            for x, y, offset, config in zip(xs, ys, chunk.offsets, configs)
+        ]
+        return {"entries": self._frontier(entries)}
+
+    def merge(self, a: Dict[str, object],
+              b: Dict[str, object]) -> Dict[str, object]:
+        return {"entries": self._frontier(list(a["entries"])
+                                          + list(b["entries"]))}
+
+
+@dataclass(frozen=True)
+class Histogram(Reducer):
+    """Streaming fixed-bin histogram with exact running statistics.
+
+    Bin edges are fixed up front (``[lo, hi]`` split into ``bins`` equal
+    bins, values outside counted as under/overflow), so per-chunk counts
+    add exactly.  The mean uses the exact-partials accumulator; min and
+    max are order-free.  :meth:`finalize` adds histogram-interpolated
+    quantiles (p50/p90/p99).
+
+    Fraction metrics default to ``[0, 1]``; other metrics need explicit
+    bounds.
+    """
+
+    metric: str
+    bins: int = 32
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+
+    kind = "hist"
+
+    def __post_init__(self) -> None:
+        metric_values(self.metric, _EMPTY_BREAKDOWN)
+        if self.bins < 1:
+            raise ValueError("bins must be >= 1")
+        if self.lo is None and self.hi is None \
+                and self.metric.endswith("fraction"):
+            object.__setattr__(self, "lo", 0.0)
+            object.__setattr__(self, "hi", 1.0)
+        if self.lo is None or self.hi is None:
+            raise ValueError(
+                f"metric {self.metric!r} is unbounded; pass explicit "
+                f"lo/hi histogram bounds"
+            )
+        if not self.lo < self.hi:
+            raise ValueError("lo must be < hi")
+
+    @property
+    def label(self) -> str:
+        return f"hist{self.bins}:{self.metric}"
+
+    def key(self) -> Tuple[object, ...]:
+        return (self.kind, self.metric, self.bins, self.lo, self.hi)
+
+    def empty(self) -> Dict[str, object]:
+        return {
+            "counts": [0] * self.bins,
+            "under": 0,
+            "over": 0,
+            "count": 0,
+            "sum_partials": [],
+            "min": None,
+            "max": None,
+        }
+
+    def observe(self, chunk: EvaluatedChunk) -> Dict[str, object]:
+        if len(chunk) == 0:
+            return self.empty()
+        values = metric_values(self.metric, chunk.breakdown)
+        inside = (values >= self.lo) & (values <= self.hi)
+        counts, _ = np.histogram(values[inside], bins=self.bins,
+                                 range=(self.lo, self.hi))
+        return {
+            "counts": [int(c) for c in counts],
+            "under": int((values < self.lo).sum()),
+            "over": int((values > self.hi).sum()),
+            "count": int(values.shape[0]),
+            "sum_partials": exact_sum_add([], values.tolist()),
+            "min": float(values.min()),
+            "max": float(values.max()),
+        }
+
+    @staticmethod
+    def _extreme(a: Optional[float], b: Optional[float], op) -> \
+            Optional[float]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return op(a, b)
+
+    def merge(self, a: Dict[str, object],
+              b: Dict[str, object]) -> Dict[str, object]:
+        return {
+            "counts": [x + y for x, y in zip(a["counts"], b["counts"])],
+            "under": a["under"] + b["under"],
+            "over": a["over"] + b["over"],
+            "count": a["count"] + b["count"],
+            "sum_partials": exact_sum_merge(a["sum_partials"],
+                                            b["sum_partials"]),
+            "min": self._extreme(a["min"], b["min"], min),
+            "max": self._extreme(a["max"], b["max"], max),
+        }
+
+    def _quantile(self, counts: Sequence[int], total: int,
+                  q: float) -> float:
+        """Histogram-interpolated quantile (deterministic, approximate)."""
+        target = q * total
+        width = (self.hi - self.lo) / self.bins
+        cumulative = 0
+        for index, count in enumerate(counts):
+            if cumulative + count >= target and count > 0:
+                within = (target - cumulative) / count
+                return self.lo + (index + within) * width
+            cumulative += count
+        return self.hi
+
+    def finalize(self, payload: Dict[str, object]) -> Dict[str, object]:
+        result = dict(payload)
+        partials = result.pop("sum_partials")
+        total = result["count"]
+        result["sum"] = exact_sum_value(partials)
+        result["mean"] = result["sum"] / total if total else 0.0
+        edges = np.linspace(self.lo, self.hi, self.bins + 1)
+        result["edges"] = [float(e) for e in edges]
+        interior = sum(result["counts"])
+        for name, q in (("p50", 0.5), ("p90", 0.9), ("p99", 0.99)):
+            result[name] = (self._quantile(result["counts"], interior, q)
+                            if interior else None)
+        return result
+
+
+@dataclass(frozen=True)
+class ArgExtrema(Reducer):
+    """The single best and worst configuration by one metric.
+
+    Equivalent to ``TopK(k=1)`` in both directions, reported as one
+    ``{"min": entry, "max": entry}`` payload.
+    """
+
+    metric: str
+
+    kind = "extrema"
+
+    def __post_init__(self) -> None:
+        metric_values(self.metric, _EMPTY_BREAKDOWN)
+
+    @property
+    def label(self) -> str:
+        return f"extrema:{self.metric}"
+
+    def key(self) -> Tuple[object, ...]:
+        return (self.kind, self.metric)
+
+    def empty(self) -> Dict[str, object]:
+        return {"min": None, "max": None}
+
+    def observe(self, chunk: EvaluatedChunk) -> Dict[str, object]:
+        if len(chunk) == 0:
+            return self.empty()
+        values = metric_values(self.metric, chunk.breakdown)
+        lo = int(np.argmin(values))  # first occurrence: lowest offset
+        hi = int(np.argmax(values))
+        entries = _entries(chunk, self.metric, np.asarray([lo, hi]))
+        return {"min": entries[0], "max": entries[1]}
+
+    @staticmethod
+    def _better(a: Optional[Mapping[str, object]],
+                b: Optional[Mapping[str, object]],
+                largest: bool) -> Optional[Mapping[str, object]]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        ka, kb = _entry_sort_key(a), _entry_sort_key(b)
+        if largest:
+            take_b = (kb[0], -kb[1]) > (ka[0], -ka[1])
+        else:
+            take_b = kb < ka
+        return dict(b) if take_b else dict(a)
+
+    def merge(self, a: Dict[str, object],
+              b: Dict[str, object]) -> Dict[str, object]:
+        return {
+            "min": self._better(a["min"], b["min"], largest=False),
+            "max": self._better(a["max"], b["max"], largest=True),
+        }
+
+
+@dataclass(frozen=True)
+class Collect(Reducer):
+    """Collect every evaluated row (small grids / differential checks).
+
+    Defeats the kilobytes-not-rows contract by design -- use it only to
+    reassemble full breakdown arrays for equivalence checking or for
+    grids known to be small.  Rows come back sorted by offset, so the
+    result is chunking- and arrival-order independent.
+    """
+
+    limit: int = 1_000_000
+
+    kind = "collect"
+
+    @property
+    def label(self) -> str:
+        return "collect"
+
+    def key(self) -> Tuple[object, ...]:
+        return (self.kind, self.limit)
+
+    def empty(self) -> Dict[str, object]:
+        return {"offsets": [], "configs": [],
+                "breakdown": {name: [] for name in _BREAKDOWN_FIELDS}}
+
+    def observe(self, chunk: EvaluatedChunk) -> Dict[str, object]:
+        if len(chunk) == 0:
+            return self.empty()
+        indices = np.arange(len(chunk))
+        return {
+            "offsets": [int(o) for o in chunk.offsets],
+            "configs": chunk.config_rows(indices),
+            "breakdown": {
+                name: [float(v) for v in
+                       np.asarray(getattr(chunk.breakdown, name))]
+                for name in _BREAKDOWN_FIELDS
+            },
+        }
+
+    def merge(self, a: Dict[str, object],
+              b: Dict[str, object]) -> Dict[str, object]:
+        offsets = list(a["offsets"]) + list(b["offsets"])
+        if len(offsets) > self.limit:
+            raise ValueError(
+                f"Collect exceeded its {self.limit}-row limit; "
+                f"use aggregating reducers for large sweeps"
+            )
+        order = sorted(range(len(offsets)), key=offsets.__getitem__)
+        configs = list(a["configs"]) + list(b["configs"])
+        merged = {
+            "offsets": [offsets[i] for i in order],
+            "configs": [configs[i] for i in order],
+            "breakdown": {},
+        }
+        for name in _BREAKDOWN_FIELDS:
+            column = list(a["breakdown"][name]) + list(b["breakdown"][name])
+            merged["breakdown"][name] = [column[i] for i in order]
+        return merged
+
+    def arrays(self, payload: Mapping[str, object]) -> BatchBreakdown:
+        """The collected rows as a :class:`BatchBreakdown`."""
+        return BatchBreakdown(**{
+            name: np.asarray(payload["breakdown"][name], dtype=np.float64)
+            for name in _BREAKDOWN_FIELDS
+        })
+
+
+_BREAKDOWN_FIELDS = ("compute_time", "serialized_comm_time",
+                     "overlapped_comm_time", "iteration_time")
+
+#: Zero-length breakdown used to validate metric names eagerly.
+_EMPTY_BREAKDOWN = BatchBreakdown(
+    compute_time=np.zeros(0),
+    serialized_comm_time=np.zeros(0),
+    overlapped_comm_time=np.zeros(0),
+    iteration_time=np.zeros(0),
+)

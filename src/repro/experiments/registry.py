@@ -24,6 +24,7 @@ from repro.experiments import (
     ext_contention,
     ext_decode,
     ext_decomposition,
+    ext_designspace,
     ext_energy,
     ext_forecast,
     ext_hwtrends,
@@ -86,6 +87,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "extension-topology": ext_topology.run,
     "extension-seqparallel": ext_seqparallel.run,
     "extension-hwtrends": ext_hwtrends.run,
+    "extension-designspace": ext_designspace.run,
     "extension-energy": ext_energy.run,
     "extension-compression": ext_compression.run,
     "extension-bucketing": ext_bucketing.run,

@@ -1,0 +1,310 @@
+"""Process-parallel streaming sweeps over lazy config grids.
+
+The batch engine (:mod:`repro.core.batch`) evaluates one materialized
+grid quickly, but a serious design-space search -- the full
+``(H, SL, B, TP, DP)`` x hardware-scenario product Section 4.3.6
+implies -- is 10^5..10^6+ points: materializing every column and
+intermediate in one process either exhausts memory or leaves all but
+one core idle.  :func:`stream_sweep` fixes both at once:
+
+* chunks come lazily from a :class:`~repro.core.gridplan.GridSpec`,
+  so peak additional memory is O(chunk size), never O(grid);
+* workers are **processes** (the NumPy evaluation is CPU-bound, so the
+  thread pool in :mod:`repro.runtime.parallel` cannot scale it); each
+  worker receives the grid *spec* once at startup and thereafter only
+  integer chunk indices -- no arrays ever cross the pipe inbound;
+* results come back as compact reducer payloads
+  (:mod:`repro.core.reducers`), kilobytes per chunk regardless of
+  chunk size.
+
+Determinism contract: for a fixed spec/reducers/evaluation context, the
+result is bit-identical for any ``chunk_size`` and ``jobs`` -- chunk
+ordering is fixed by the spec, reducer merges are order-independent,
+and partials are folded in chunk-index order anyway.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.gridplan import DEFAULT_CHUNK_SIZE, GridSpec
+from repro.core.projection import OperatorModelSuite
+from repro.core.reducers import EvaluatedChunk, Reducer
+from repro.hardware.cluster import ClusterSpec, mi210_node
+from repro.runtime.parallel import resolve_jobs
+from repro.sim.executor import DEFAULT_TIMING, TimingModels
+
+__all__ = ["SweepResult", "stream_sweep", "MODES"]
+
+#: Supported evaluation modes: ground-truth execution vs paper-style
+#: operator-model projection.
+MODES = ("execute", "project")
+
+#: One folded chunk record: raw rows, evaluated rows, one payload per
+#: reducer.  JSON-serializable end to end (cacheable as-is).
+ChunkRecord = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one streaming sweep.
+
+    Attributes:
+        reductions: Finalized output per reducer, keyed by label.
+        raw_points: Cartesian-product size before constraints.
+        evaluated_points: Rows that survived constraints and were
+            evaluated.
+        chunk_count: Chunks the grid was split into.
+        cache_hits: Chunks replayed from a cache instead of evaluated
+            (only nonzero when the caller supplies cache hooks).
+        wall_time_s: End-to-end wall time of the sweep.
+    """
+
+    reductions: Dict[str, Dict[str, object]]
+    raw_points: int
+    evaluated_points: int
+    chunk_count: int
+    chunk_size: int
+    jobs: int
+    mode: str
+    wall_time_s: float
+    cache_hits: int = 0
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class _SweepContext:
+    """Everything a worker needs, shipped once per process at startup."""
+
+    spec: GridSpec
+    reducers: Tuple[Reducer, ...]
+    chunk_size: int
+    mode: str
+    cluster: ClusterSpec
+    timing: TimingModels
+    suite: Optional[OperatorModelSuite]
+    scenario: Optional[object]
+    check: bool
+
+
+def _evaluate_chunk(ctx: _SweepContext, index: int) -> ChunkRecord:
+    """Evaluate one chunk and reduce it to per-reducer payloads.
+
+    Shared verbatim by the serial path and the pool workers, so both
+    produce identical records by construction.
+    """
+    from repro.core.batch import batch_execute, batch_project
+
+    chunk = ctx.spec.chunk(index, ctx.chunk_size)
+    if len(chunk) == 0:
+        return {
+            "raw": chunk.raw_rows,
+            "evaluated": 0,
+            "payloads": [reducer.empty() for reducer in ctx.reducers],
+        }
+    if ctx.mode == "execute":
+        breakdown = batch_execute(chunk.grid, ctx.cluster, ctx.timing)
+    else:
+        breakdown = batch_project(chunk.grid, ctx.suite,
+                                  scenario=ctx.scenario)
+    if ctx.check:
+        from repro.sim.checker import validate_batch
+
+        validate_batch(breakdown)
+    evaluated = EvaluatedChunk(offsets=chunk.offsets,
+                               columns=chunk.columns(),
+                               breakdown=breakdown)
+    return {
+        "raw": chunk.raw_rows,
+        "evaluated": len(chunk),
+        "payloads": [reducer.observe(evaluated)
+                     for reducer in ctx.reducers],
+    }
+
+
+# Per-worker context, installed once by the pool initializer so tasks
+# are bare chunk indices (minimal IPC).
+_WORKER_CTX: Optional[_SweepContext] = None
+
+
+def _init_worker(ctx: _SweepContext) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = ctx
+
+
+def _eval_chunk_task(index: int) -> Tuple[int, ChunkRecord]:
+    assert _WORKER_CTX is not None, "worker initialized without context"
+    return index, _evaluate_chunk(_WORKER_CTX, index)
+
+
+class _Fold:
+    """Accumulates chunk records strictly in chunk-index order.
+
+    Records may *arrive* out of order (pool completion order); they are
+    parked in a pending dict -- bounded by the in-flight window -- and
+    folded only when every earlier chunk has been folded.
+    """
+
+    def __init__(self, reducers: Sequence[Reducer]) -> None:
+        self._reducers = tuple(reducers)
+        self.payloads = [reducer.empty() for reducer in self._reducers]
+        self.raw = 0
+        self.evaluated = 0
+        self._pending: Dict[int, ChunkRecord] = {}
+        self._next = 0
+
+    def add(self, index: int, record: ChunkRecord) -> None:
+        self._pending[index] = record
+        while self._next in self._pending:
+            ready = self._pending.pop(self._next)
+            self.raw += int(ready["raw"])
+            self.evaluated += int(ready["evaluated"])
+            self.payloads = [
+                reducer.merge(merged, payload)
+                for reducer, merged, payload in zip(
+                    self._reducers, self.payloads, ready["payloads"])
+            ]
+            self._next += 1
+
+    def finalize(self) -> Dict[str, Dict[str, object]]:
+        assert not self._pending, "chunks left unfolded"
+        return {
+            reducer.label: reducer.finalize(payload)
+            for reducer, payload in zip(self._reducers, self.payloads)
+        }
+
+
+def stream_sweep(spec: GridSpec,
+                 reducers: Sequence[Reducer],
+                 cluster: Optional[ClusterSpec] = None,
+                 timing: Optional[TimingModels] = None,
+                 mode: str = "execute",
+                 suite: Optional[OperatorModelSuite] = None,
+                 scenario: Optional[object] = None,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 jobs: Optional[int] = 1,
+                 check: Optional[bool] = None,
+                 cache_get: Optional[Callable[[int],
+                                              Optional[ChunkRecord]]] = None,
+                 cache_put: Optional[Callable[[int, ChunkRecord],
+                                              None]] = None
+                 ) -> SweepResult:
+    """Evaluate a lazy grid in chunks and reduce it online.
+
+    Args:
+        spec: The lazy grid (axes + constraints).
+        reducers: Online reducers applied per chunk; their finalized
+            outputs form ``SweepResult.reductions`` keyed by label.
+        mode: ``"execute"`` (ground-truth batch engine against
+            ``cluster``/``timing``) or ``"project"`` (operator-model
+            projection via ``suite``, optionally scaled by
+            ``scenario``).  For execute-mode scenario studies, pass the
+            already-scaled cluster (``scenario.apply(cluster)``), as the
+            scalar sweeps do.
+        chunk_size: Target rows per chunk; peak additional memory is
+            proportional to this, never to the grid.
+        jobs: Worker processes.  1 (default) evaluates serially in this
+            process; ``n > 1`` uses a process pool with a bounded
+            in-flight window of ``2 * n`` chunk indices.  Negative
+            means CPU count.
+        check: Run the PR-3 invariant validator on every chunk's
+            breakdown; ``None`` defers to ``REPRO_CHECK``.
+        cache_get / cache_put: Optional per-chunk record hooks (used by
+            :meth:`repro.runtime.session.Session.stream_sweep` for
+            content-keyed replay).  Called only in this process.
+
+    Raises:
+        ValueError: Unknown mode, or project mode without a suite.
+        Exception: The first worker exception, re-raised here after
+            cancelling outstanding chunks.
+    """
+    from repro.sim.checker import check_enabled
+
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
+    if mode == "project" and suite is None:
+        raise ValueError("project mode requires a fitted suite")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    start = time.perf_counter()
+    ctx = _SweepContext(
+        spec=spec,
+        reducers=tuple(reducers),
+        chunk_size=chunk_size,
+        mode=mode,
+        cluster=cluster if cluster is not None else mi210_node(),
+        timing=timing if timing is not None else DEFAULT_TIMING,
+        suite=suite,
+        scenario=scenario,
+        check=check_enabled(check),
+    )
+    workers = resolve_jobs(jobs)
+    n_chunks = spec.chunk_count(chunk_size)
+    fold = _Fold(ctx.reducers)
+    cache_hits = 0
+
+    def uncached() -> Iterator[int]:
+        nonlocal cache_hits
+        for index in range(n_chunks):
+            cached = cache_get(index) if cache_get is not None else None
+            if cached is not None:
+                cache_hits += 1
+                fold.add(index, cached)
+            else:
+                yield index
+
+    if workers <= 1 or n_chunks <= 1:
+        for index in uncached():
+            record = _evaluate_chunk(ctx, index)
+            if cache_put is not None:
+                cache_put(index, record)
+            fold.add(index, record)
+    else:
+        window = 2 * workers
+        inflight: Deque[Future] = deque()
+
+        def drain(future: Future) -> None:
+            index, record = future.result()
+            if cache_put is not None:
+                cache_put(index, record)
+            fold.add(index, record)
+
+        with ProcessPoolExecutor(max_workers=workers,
+                                 initializer=_init_worker,
+                                 initargs=(ctx,)) as pool:
+            try:
+                for index in uncached():
+                    inflight.append(pool.submit(_eval_chunk_task, index))
+                    if len(inflight) >= window:
+                        drain(inflight.popleft())
+                while inflight:
+                    drain(inflight.popleft())
+            finally:
+                for future in inflight:
+                    future.cancel()
+
+    return SweepResult(
+        reductions=fold.finalize(),
+        raw_points=spec.raw_size,
+        evaluated_points=fold.evaluated,
+        chunk_count=n_chunks,
+        chunk_size=chunk_size,
+        jobs=workers,
+        mode=mode,
+        wall_time_s=time.perf_counter() - start,
+        cache_hits=cache_hits,
+        meta={"spec_key": spec.content_key()},
+    )

@@ -6,13 +6,18 @@ cache/disk work and by letting one warm session serve many runners --
 but the contract that matters is *determinism*: results always come
 back in input order, and ``jobs=1`` (the default) degenerates to a
 plain serial loop with no executor involved.
+
+``items`` may be any iterable, including an unbounded generator: it is
+consumed lazily, with at most ``window`` tasks in flight, so streaming
+callers (chunked grid sweeps) never buffer the whole work list.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, TypeVar
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Deque, Iterable, List, Optional, TypeVar
 
 __all__ = ["resolve_jobs", "parallel_map"]
 
@@ -30,16 +35,32 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 
 def parallel_map(fn: Callable[[T], R], items: Iterable[T],
-                 jobs: Optional[int] = 1) -> List[R]:
+                 jobs: Optional[int] = 1,
+                 window: Optional[int] = None) -> List[R]:
     """Map ``fn`` over ``items``, preserving input order.
 
-    Serial when ``jobs`` resolves to 1 (or there is at most one item);
-    otherwise a thread pool of ``jobs`` workers.  Exceptions propagate
-    to the caller either way.
+    Serial when ``jobs`` resolves to 1; otherwise a thread pool of
+    ``jobs`` workers fed lazily from ``items`` with at most ``window``
+    submissions outstanding (default ``2 * jobs``).  Exceptions
+    propagate to the caller either way; on failure, queued-but-unrun
+    tasks are cancelled and no further items are consumed.
     """
-    work = list(items)
     workers = resolve_jobs(jobs)
-    if workers <= 1 or len(work) <= 1:
-        return [fn(item) for item in work]
-    with ThreadPoolExecutor(max_workers=min(workers, len(work))) as pool:
-        return list(pool.map(fn, work))
+    iterator = iter(items)
+    if workers <= 1:
+        return [fn(item) for item in iterator]
+    limit = max(workers, window or 2 * workers)
+    results: List[R] = []
+    inflight: Deque[Future] = deque()
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        try:
+            for item in iterator:
+                inflight.append(pool.submit(fn, item))
+                if len(inflight) >= limit:
+                    results.append(inflight.popleft().result())
+            while inflight:
+                results.append(inflight.popleft().result())
+        finally:
+            for future in inflight:
+                future.cancel()
+    return results

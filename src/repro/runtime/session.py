@@ -37,6 +37,9 @@ from typing import (
 
 if TYPE_CHECKING:
     from repro.core.batch import BatchBreakdown, ConfigGrid
+    from repro.core.gridplan import GridSpec
+    from repro.core.reducers import Reducer
+    from repro.runtime.megasweep import SweepResult
 
 from repro.core.projection import (
     DEFAULT_BASELINE,
@@ -256,6 +259,71 @@ class Session:
 
             validate_batch(breakdown)
         return breakdown
+
+    def stream_sweep(self,
+                     spec: "GridSpec",
+                     reducers: Sequence["Reducer"],
+                     cluster: Optional[ClusterSpec] = None,
+                     timing: Optional[TimingModels] = None,
+                     mode: str = "execute",
+                     scenario: Optional[object] = None,
+                     chunk_size: Optional[int] = None,
+                     jobs: Optional[int] = None,
+                     use_cache: bool = True) -> "SweepResult":
+        """Cache-backed streaming sweep over a lazy grid.
+
+        Wraps :func:`repro.runtime.megasweep.stream_sweep` with
+        per-chunk result caching: each chunk's reducer payloads are
+        stored under a content key covering the grid chunk
+        (:meth:`~repro.core.gridplan.GridSpec.chunk_key`), the reducer
+        set, the evaluation mode, and the cluster/timing/scenario
+        context, so re-running the same sweep -- or a larger sweep
+        sharing a prefix of chunks -- replays instead of re-evaluating.
+
+        In ``"project"`` mode the operator-model suite comes from
+        :meth:`suite` (fitted once per session).  The sweep inherits
+        the session's ``check`` flag and default ``jobs``.
+        """
+        from repro.core.gridplan import DEFAULT_CHUNK_SIZE
+        from repro.runtime.megasweep import stream_sweep
+
+        cluster = cluster if cluster is not None else self.cluster
+        timing = timing if timing is not None else self.timing
+        chunk_size = (chunk_size if chunk_size is not None
+                      else DEFAULT_CHUNK_SIZE)
+        jobs = self.jobs if jobs is None else resolve_jobs(jobs)
+        suite = self.suite(cluster, timing=timing) \
+            if mode == "project" else None
+        reducer_keys = tuple(reducer.key() for reducer in reducers)
+        context_key = fingerprint("stream-chunk", CACHE_VERSION,
+                                  reducer_keys, mode, cluster, timing,
+                                  scenario)
+
+        def chunk_cache_key(index: int) -> str:
+            return cache_key(context_key,
+                             spec.chunk_key(index, chunk_size))
+
+        def cache_get(index: int) -> Optional[Dict[str, object]]:
+            cached = self.cache.get(chunk_cache_key(index))
+            return cached if isinstance(cached, dict) else None
+
+        def cache_put(index: int, record: Dict[str, object]) -> None:
+            self.cache.put(chunk_cache_key(index), record)
+
+        return stream_sweep(
+            spec,
+            reducers,
+            cluster=cluster,
+            timing=timing,
+            mode=mode,
+            suite=suite,
+            scenario=scenario,
+            chunk_size=chunk_size,
+            jobs=jobs,
+            check=self.check,
+            cache_get=cache_get if use_cache else None,
+            cache_put=cache_put if use_cache else None,
+        )
 
     # -- experiment execution --------------------------------------------
 

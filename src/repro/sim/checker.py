@@ -28,7 +28,14 @@ module keeps them honest with three layers:
    flags every mutant while accepting the originals -- so the checker
    itself is tested.
 
-Run both layers from the command line with ``python -m repro check``.
+4. **Stream oracle** (:func:`stream_oracle`): the chunked streaming
+   sweep (:func:`repro.runtime.megasweep.stream_sweep`) re-evaluated
+   against a one-shot :func:`~repro.core.batch.batch_execute` of the
+   same grid: collected breakdown arrays and every online reducer's
+   finalized output must match bit-for-bit across chunk sizes and
+   across the serial path vs a multi-process pool.
+
+Run every layer from the command line with ``python -m repro check``.
 """
 
 from __future__ import annotations
@@ -77,6 +84,8 @@ __all__ = [
     "seeded_faults",
     "fault_selftest",
     "SelfTestReport",
+    "StreamReport",
+    "stream_oracle",
 ]
 
 #: Environment variable that turns invariant checking on everywhere a
@@ -545,3 +554,115 @@ def fault_selftest(cluster: Optional[ClusterSpec] = None,
     return SelfTestReport(schedules=len(schedules),
                           rejected_good=rejected_good, faults=faults,
                           caught=caught, missed=tuple(missed))
+
+
+# -- stream oracle -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """Outcome of the streamed-vs-one-shot differential check.
+
+    Attributes:
+        points: Grid rows evaluated (after constraints).
+        variants: Streaming variants compared against the one-shot
+            reference, as ``chunk<size>-jobs<n>`` labels.
+        mismatches: ``variant/reduction`` labels that diverged from the
+            one-shot reference (empty when everything is bit-identical).
+    """
+
+    points: int
+    variants: Tuple[str, ...]
+    mismatches: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAIL"
+        lines = [
+            f"stream oracle: {status} -- {len(self.variants)} streamed "
+            f"variants ({', '.join(self.variants)}) over {self.points} "
+            f"configs vs one-shot batch_execute",
+        ]
+        lines.extend(f"  mismatch: {label}" for label in self.mismatches)
+        return "\n".join(lines)
+
+
+def _stream_reference_spec():
+    """A small mixed-parity grid exercising constraint filtering."""
+    from repro.core.gridplan import GridSpec, MaxWorldSize
+
+    return GridSpec(
+        hidden=(1024, 2048, 4096),
+        seq_len=(512, 1024),
+        batch=(1, 4),
+        tp=(1, 2, 8),
+        dp=(1, 4),
+        constraints=(MaxWorldSize(16),),
+    )
+
+
+def stream_oracle(cluster: Optional[ClusterSpec] = None,
+                  timing: TimingModels = DEFAULT_TIMING,
+                  chunk_sizes: Sequence[int] = (5, 16),
+                  jobs: Sequence[int] = (1, 2)) -> StreamReport:
+    """Streamed sweep vs one-shot batch evaluation, bit-for-bit.
+
+    The one-shot reference materializes the whole (constraint-filtered)
+    grid, evaluates it with :func:`~repro.core.batch.batch_execute`, and
+    reduces it as a single chunk.  Every ``(chunk_size, jobs)`` variant
+    then streams the same grid through
+    :func:`~repro.runtime.megasweep.stream_sweep`; the collected
+    breakdown rows and every reducer's finalized output must equal the
+    reference exactly -- any drift in chunking, constraint masking,
+    worker shipping, or reducer merging shows up as a mismatch.
+    """
+    from repro.core.batch import batch_execute
+    from repro.core.reducers import (
+        ArgExtrema,
+        Collect,
+        EvaluatedChunk,
+        Histogram,
+        ParetoFront,
+        TopK,
+    )
+    from repro.runtime.megasweep import stream_sweep
+
+    cluster = cluster if cluster is not None else mi210_node()
+    spec = _stream_reference_spec()
+    reducers = (
+        TopK("iteration_time", k=5, largest=False),
+        ParetoFront(),
+        Histogram("serialized_comm_fraction", bins=16),
+        ArgExtrema("exposed_comm_time"),
+        Collect(),
+    )
+    whole = spec.materialize()
+    reference_breakdown = batch_execute(whole.grid, cluster, timing)
+    one_shot = EvaluatedChunk(offsets=whole.offsets,
+                              columns=whole.columns(),
+                              breakdown=reference_breakdown)
+    reference = {
+        reducer.label: reducer.finalize(
+            reducer.merge(reducer.empty(), reducer.observe(one_shot)))
+        for reducer in reducers
+    }
+    variants: List[str] = []
+    mismatches: List[str] = []
+    for chunk_size in chunk_sizes:
+        for n_jobs in jobs:
+            label = f"chunk{chunk_size}-jobs{n_jobs}"
+            variants.append(label)
+            result = stream_sweep(spec, reducers, cluster=cluster,
+                                  timing=timing, chunk_size=chunk_size,
+                                  jobs=n_jobs)
+            if result.evaluated_points != len(whole.grid):
+                mismatches.append(f"{label}/point-count")
+            for reducer in reducers:
+                if result.reductions[reducer.label] \
+                        != reference[reducer.label]:
+                    mismatches.append(f"{label}/{reducer.label}")
+    return StreamReport(points=len(whole.grid), variants=tuple(variants),
+                        mismatches=tuple(mismatches))

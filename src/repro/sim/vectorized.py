@@ -25,6 +25,8 @@ task by task.
 
 from __future__ import annotations
 
+import itertools
+import threading
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -49,6 +51,7 @@ __all__ = [
     "all_gather_times",
     "cluster_all_reduce_times",
     "closed_form_breakdown",
+    "stack_columns",
 ]
 
 
@@ -68,9 +71,49 @@ def _cached_unit_hash(key: tuple) -> float:
     value = _HASH_CACHE.get(key)
     if value is None:
         if len(_HASH_CACHE) >= _HASH_CACHE_LIMIT:
-            _HASH_CACHE.clear()
+            # Evict the oldest eighth (dict preserves insertion order)
+            # instead of dropping everything: streaming sweeps with
+            # per-config jitter keys cycle through far more keys than
+            # the limit, and a full clear would also throw away the
+            # small, hot set of shared-shape keys every chunk reuses.
+            evict = max(1, _HASH_CACHE_LIMIT // 8)
+            for stale in list(itertools.islice(_HASH_CACHE, evict)):
+                del _HASH_CACHE[stale]
         value = _HASH_CACHE[key] = stable_unit_hash(*key)
     return value
+
+
+# -- reusable stacking buffers -------------------------------------------
+
+#: Thread-local pool of int64 stacking buffers, keyed by call-site tag.
+#: Grids are evaluated slot-kind by slot-kind with the same stacked
+#: shapes chunk after chunk; reusing one buffer per (tag) removes the
+#: per-chunk allocation tax without sharing state across threads (each
+#: sweep worker process likewise gets its own pool).
+_SCRATCH = threading.local()
+
+
+def stack_columns(tag: str, columns: Sequence[np.ndarray],
+                  n: int) -> np.ndarray:
+    """Stack per-slot length-``n`` columns into one reused flat buffer.
+
+    Bit-identical to ``np.concatenate(columns)`` for int64 inputs; the
+    returned array is a view of a thread-local scratch buffer, valid
+    only until the next :func:`stack_columns` call with the same
+    ``tag`` -- callers must consume it (e.g. feed it to a timing
+    model) before stacking into that tag again.
+    """
+    pool = getattr(_SCRATCH, "pool", None)
+    if pool is None:
+        pool = _SCRATCH.pool = {}
+    needed = len(columns) * n
+    buffer = pool.get(tag)
+    if buffer is None or buffer.shape[0] < needed:
+        buffer = pool[tag] = np.empty(max(needed, 1), dtype=np.int64)
+    out = buffer[:needed]
+    for row, column in enumerate(columns):
+        out[row * n:(row + 1) * n] = column
+    return out
 
 
 def _jitter_factors(amplitude: float, keys: Sequence[tuple]) -> np.ndarray:

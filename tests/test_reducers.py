@@ -1,0 +1,257 @@
+"""Online reducers: merge associativity, determinism, exact sums."""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchBreakdown
+from repro.core.reducers import (
+    ArgExtrema,
+    Collect,
+    EvaluatedChunk,
+    Histogram,
+    ParetoFront,
+    TopK,
+    exact_sum_add,
+    exact_sum_merge,
+    exact_sum_value,
+    metric_values,
+)
+
+ALL_REDUCERS = (
+    TopK("iteration_time", k=4, largest=False),
+    TopK("compute_time", k=3, largest=True),
+    ParetoFront(),
+    Histogram("serialized_comm_fraction", bins=16),
+    ArgExtrema("exposed_comm_time"),
+    Collect(),
+)
+
+
+def synthetic_chunks(n_rows: int = 60, n_chunks: int = 7,
+                     seed: int = 11) -> list:
+    """Deterministic synthetic evaluated chunks with messy float values."""
+    rng = random.Random(seed)
+    compute = np.array([rng.uniform(1e-5, 1e-1) for _ in range(n_rows)])
+    serialized = np.array([rng.uniform(0, 5e-2) for _ in range(n_rows)])
+    overlapped = np.array([rng.uniform(0, 2e-2) for _ in range(n_rows)])
+    iteration = compute + serialized + overlapped * 0.5
+    rows_per = [n_rows // n_chunks] * n_chunks
+    rows_per[-1] += n_rows - sum(rows_per)
+    chunks = []
+    offset = 0
+    for rows in rows_per:
+        lo, hi = offset, offset + rows
+        offset = hi
+        columns = {
+            "hidden": np.full(rows, 1024, dtype=np.int64),
+            "seq_len": np.full(rows, 2048, dtype=np.int64),
+            "batch": np.full(rows, 1, dtype=np.int64),
+            "tp": np.full(rows, 8, dtype=np.int64),
+            "dp": np.full(rows, 2, dtype=np.int64),
+        }
+        chunks.append(EvaluatedChunk(
+            offsets=np.arange(lo, hi, dtype=np.int64),
+            columns=columns,
+            breakdown=BatchBreakdown(
+                compute_time=compute[lo:hi],
+                serialized_comm_time=serialized[lo:hi],
+                overlapped_comm_time=overlapped[lo:hi],
+                iteration_time=iteration[lo:hi],
+            ),
+        ))
+    return chunks
+
+
+def fold(reducer, chunks, order=None):
+    payload = reducer.empty()
+    indices = order if order is not None else range(len(chunks))
+    for index in indices:
+        payload = reducer.merge(payload, reducer.observe(chunks[index]))
+    return reducer.finalize(payload)
+
+
+class TestMergeLaws:
+    @pytest.mark.parametrize("reducer", ALL_REDUCERS,
+                             ids=lambda r: r.label)
+    def test_shuffled_arrival_is_deterministic(self, reducer):
+        chunks = synthetic_chunks()
+        reference = fold(reducer, chunks)
+        for seed in range(5):
+            order = list(range(len(chunks)))
+            random.Random(seed).shuffle(order)
+            assert fold(reducer, chunks, order) == reference
+
+    @pytest.mark.parametrize("reducer", ALL_REDUCERS,
+                             ids=lambda r: r.label)
+    def test_merge_associativity(self, reducer):
+        chunks = synthetic_chunks(n_chunks=3)
+        a, b, c = (reducer.observe(chunk) for chunk in chunks)
+        left = reducer.merge(reducer.merge(a, b), c)
+        right = reducer.merge(a, reducer.merge(b, c))
+        assert reducer.finalize(left) == reducer.finalize(right)
+
+    @pytest.mark.parametrize("reducer", ALL_REDUCERS,
+                             ids=lambda r: r.label)
+    def test_empty_is_identity(self, reducer):
+        chunk = synthetic_chunks(n_chunks=1)[0]
+        observed = reducer.observe(chunk)
+        left = reducer.merge(reducer.empty(), observed)
+        right = reducer.merge(observed, reducer.empty())
+        assert reducer.finalize(left) == reducer.finalize(right) \
+            == reducer.finalize(observed)
+
+    @pytest.mark.parametrize("reducer", ALL_REDUCERS,
+                             ids=lambda r: r.label)
+    def test_chunk_size_invariance(self, reducer):
+        fine = synthetic_chunks(n_rows=60, n_chunks=12)
+        coarse = synthetic_chunks(n_rows=60, n_chunks=2)
+        assert fold(reducer, fine) == fold(reducer, coarse)
+
+    @pytest.mark.parametrize("reducer", ALL_REDUCERS,
+                             ids=lambda r: r.label)
+    def test_payloads_are_json_safe(self, reducer):
+        chunks = synthetic_chunks(n_chunks=2)
+        payload = reducer.merge(reducer.observe(chunks[0]),
+                                reducer.observe(chunks[1]))
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestTopK:
+    def test_selects_global_extremes(self):
+        chunks = synthetic_chunks()
+        values = np.concatenate([
+            chunk.breakdown.iteration_time for chunk in chunks
+        ])
+        reducer = TopK("iteration_time", k=4, largest=False)
+        entries = fold(reducer, chunks)["entries"]
+        expected = sorted(values)[:4]
+        assert [entry["value"] for entry in entries] \
+            == pytest.approx(expected, abs=0)
+
+    def test_offset_tie_break(self):
+        chunks = synthetic_chunks(n_chunks=2)
+        # Force equal values everywhere: ties resolve by lowest offset.
+        for chunk in chunks:
+            chunk.breakdown.iteration_time[:] = 1.0
+        entries = fold(TopK("iteration_time", k=3, largest=False),
+                       chunks)["entries"]
+        assert [entry["offset"] for entry in entries] == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            TopK("no_such_metric")
+        with pytest.raises(ValueError):
+            TopK("iteration_time", k=0)
+
+
+class TestParetoFront:
+    def test_no_dominated_points_survive(self):
+        chunks = synthetic_chunks()
+        entries = fold(ParetoFront(), chunks)["entries"]
+        assert entries
+        for a in entries:
+            for b in entries:
+                if a is b:
+                    continue
+                dominated = (b["x"] <= a["x"] and b["y"] <= a["y"]
+                             and (b["x"] < a["x"] or b["y"] < a["y"]))
+                assert not dominated
+        xs = [entry["x"] for entry in entries]
+        ys = [entry["y"] for entry in entries]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys, reverse=True)
+
+    def test_exact_duplicates_keep_lowest_offset(self):
+        chunks = synthetic_chunks(n_chunks=2)
+        for chunk in chunks:
+            chunk.breakdown.compute_time[:] = 1.0
+            chunk.breakdown.serialized_comm_time[:] = 0.5
+            chunk.breakdown.overlapped_comm_time[:] = 0.0
+            chunk.breakdown.iteration_time[:] = 1.5
+        entries = fold(ParetoFront(), chunks)["entries"]
+        assert len(entries) == 1
+        assert entries[0]["offset"] == 0
+
+
+class TestHistogram:
+    def test_counts_and_bounds(self):
+        chunks = synthetic_chunks()
+        result = fold(Histogram("serialized_comm_fraction", bins=16),
+                      chunks)
+        values = np.concatenate([
+            metric_values("serialized_comm_fraction", chunk.breakdown)
+            for chunk in chunks
+        ])
+        assert result["count"] == len(values)
+        assert sum(result["counts"]) + result["under"] + result["over"] \
+            == len(values)
+        assert result["min"] == values.min()
+        assert result["max"] == values.max()
+        assert result["sum"] == math.fsum(values)
+        assert 0.0 <= result["p50"] <= result["p90"] <= result["p99"] <= 1.0
+
+    def test_exact_sum_is_grouping_invariant(self):
+        # Adversarial cancellation: naive left-to-right partial sums
+        # differ across groupings; the exact accumulator must not.
+        values = [1e16, 1.0, -1e16, 1e-8, 3.0, -2.0] * 50
+        groupings = [1, 2, 3, 7, 60]
+        sums = set()
+        for size in groupings:
+            partials = []
+            for start in range(0, len(values), size):
+                partials = exact_sum_merge(
+                    partials, exact_sum_add([], values[start:start + size])
+                )
+            sums.add(exact_sum_value(partials))
+        assert sums == {math.fsum(values)}
+
+    def test_unbounded_metric_needs_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("iteration_time")
+        bounded = Histogram("iteration_time", lo=0.0, hi=1.0)
+        assert bounded.lo == 0.0 and bounded.hi == 1.0
+
+    def test_fraction_metric_defaults_unit_range(self):
+        hist = Histogram("serialized_comm_fraction")
+        assert (hist.lo, hist.hi) == (0.0, 1.0)
+
+
+class TestArgExtremaAndCollect:
+    def test_extrema_match_numpy(self):
+        chunks = synthetic_chunks()
+        values = np.concatenate([
+            chunk.breakdown.exposed_comm_time for chunk in chunks
+        ])
+        result = fold(ArgExtrema("exposed_comm_time"), chunks)
+        assert result["min"]["value"] == values.min()
+        assert result["max"]["value"] == values.max()
+        assert result["min"]["offset"] == int(np.argmin(values))
+        assert result["max"]["offset"] == int(np.argmax(values))
+
+    def test_collect_reassembles_in_offset_order(self):
+        chunks = synthetic_chunks(n_chunks=4)
+        reducer = Collect()
+        shuffled = fold(reducer, chunks, order=[2, 0, 3, 1])
+        assert shuffled["offsets"] == sorted(shuffled["offsets"])
+        rebuilt = reducer.arrays(shuffled)
+        reference = np.concatenate([
+            chunk.breakdown.iteration_time for chunk in chunks
+        ])
+        np.testing.assert_array_equal(rebuilt.iteration_time, reference)
+
+    def test_collect_limit(self):
+        chunks = synthetic_chunks(n_rows=20, n_chunks=2)
+        reducer = Collect(limit=15)
+        with pytest.raises(ValueError):
+            fold(reducer, chunks)
+
+    def test_metric_values_unknown_name(self):
+        chunk = synthetic_chunks(n_chunks=1)[0]
+        with pytest.raises(KeyError):
+            metric_values("bogus", chunk.breakdown)
