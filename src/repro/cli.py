@@ -146,9 +146,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the fault-seeding self-test")
     check.add_argument("--skip-stream", action="store_true",
                        help="skip the streamed-vs-one-shot sweep oracle")
+    check.add_argument("--skip-prune", action="store_true",
+                       help="skip the bound-and-prune oracle (bound "
+                            "admissibility + pruned-vs-exhaustive "
+                            "bit-equality)")
     check.add_argument("--stream-jobs", type=int, default=2, metavar="N",
                        help="max worker processes exercised by the "
-                            "stream oracle (default 2)")
+                            "stream and prune oracles (default 2)")
 
     search = subparsers.add_parser(
         "search", help="stream a large (H, SL, B, TP, DP) grid through "
@@ -197,6 +201,14 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--largest", action="store_true",
                         help="rank top-k descending (default: smallest "
                              "metric values win)")
+    search.add_argument("--prune", dest="prune", action="store_true",
+                        help="bound-and-prune scheduler: skip chunks "
+                             "whose analytical interval provably cannot "
+                             "reach the output (bit-identical results; "
+                             "selection reducers only)")
+    search.add_argument("--no-prune", dest="prune", action="store_false",
+                        help="force exhaustive evaluation (the default)")
+    search.set_defaults(prune=False)
     search.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="persist per-chunk partials under DIR")
     search.add_argument("--check", action="store_true",
@@ -456,6 +468,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.sim.checker import (
         differential_oracle,
         fault_selftest,
+        prune_oracle,
         stream_oracle,
     )
 
@@ -477,6 +490,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
         stream = stream_oracle(jobs=jobs)
         print(stream.summary())
         failed = failed or not stream.ok
+    if not args.skip_prune:
+        jobs = sorted({1, max(1, args.stream_jobs)})
+        prune = prune_oracle(seed=args.seed, jobs=jobs)
+        print(prune.summary())
+        failed = failed or not prune.ok
     return 1 if failed else 0
 
 
@@ -493,6 +511,19 @@ def _render_search_text(result) -> str:
         f"mode {result.mode}, {result.wall_time_s:.2f}s, "
         f"cache hits {result.cache_hits})"
     ]
+    prune_meta = result.meta.get("prune")
+    if prune_meta is not None:
+        if prune_meta["enabled"]:
+            lines.append(
+                f"prune: {prune_meta['pruned_chunks']} of "
+                f"{prune_meta['chunks']} chunks pruned by analytical "
+                f"bounds; {prune_meta['exact_chunks']} evaluated exactly "
+                f"({prune_meta['exact_point_fraction']:.1%} of "
+                f"{prune_meta['feasible_points']:,} feasible points) -- "
+                f"results bit-identical to exhaustive"
+            )
+        else:
+            lines.append(f"prune: disabled -- {prune_meta['reason']}")
     for label, payload in result.reductions.items():
         value_fmt = format_pct if label.endswith("fraction") else format_ms
         lines.append("")
@@ -584,6 +615,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         result = session.stream_sweep(
             spec, reducers, mode=args.mode,
             chunk_size=args.chunk_size, jobs=args.jobs,
+            prune=args.prune,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -597,6 +629,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
             "jobs": result.jobs,
             "mode": result.mode,
             "cache_hits": result.cache_hits,
+            "prune": result.meta.get("prune"),
             "reductions": result.reductions,
         }
         _emit(json.dumps(document, indent=2), args.output)

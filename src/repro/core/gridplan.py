@@ -33,7 +33,15 @@ exactly as the scalar sweep would refuse to construct them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -48,6 +56,7 @@ __all__ = [
     "GridChunk",
     "GridSpec",
     "DEFAULT_CHUNK_SIZE",
+    "aggregate_bounds",
 ]
 
 #: Default rows per chunk: large enough to amortize the NumPy fixed
@@ -207,6 +216,22 @@ class GridChunk:
         return {name: getattr(self.grid, name) for name in AXIS_NAMES}
 
 
+def aggregate_bounds(
+    lower: Mapping[str, np.ndarray],
+    upper: Mapping[str, np.ndarray],
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Chunk-level bound envelope from per-row bound columns.
+
+    Per metric: the min of the row lower bounds and the max of the row
+    upper bounds -- the coarsest interval that still certifies every
+    row of the chunk, which is all chunk-granular pruning can use.
+    """
+    return (
+        {name: float(np.min(column)) for name, column in lower.items()},
+        {name: float(np.max(column)) for name, column in upper.items()},
+    )
+
+
 def _axis(values: Sequence[int], name: str) -> Tuple[int, ...]:
     values = tuple(int(v) for v in values)
     if not values:
@@ -262,12 +287,22 @@ class GridSpec:
         return size
 
     def content_key(self) -> Tuple[object, ...]:
-        """Stable content tuple (axes + precision + constraint keys)."""
-        return (
-            self.hidden, self.seq_len, self.batch, self.tp, self.dp,
-            self.precision.value,
-            tuple(constraint.spec_key() for constraint in self.constraints),
-        )
+        """Stable content tuple (axes + precision + constraint keys).
+
+        Computed once per spec and cached: large sweeps ask for one
+        chunk key per chunk, and the spec is frozen, so the tuple can
+        never change after construction.
+        """
+        cached = self.__dict__.get("_content_key")
+        if cached is None:
+            cached = (
+                self.hidden, self.seq_len, self.batch, self.tp, self.dp,
+                self.precision.value,
+                tuple(constraint.spec_key()
+                      for constraint in self.constraints),
+            )
+            object.__setattr__(self, "_content_key", cached)
+        return cached
 
     def chunk_count(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> int:
         """Number of chunks at the given target size."""
@@ -276,16 +311,27 @@ class GridSpec:
         return -(-self.raw_size // chunk_size)
 
     def chunk_key(self, index: int,
-                  chunk_size: int = DEFAULT_CHUNK_SIZE) -> str:
+                  chunk_size: int = DEFAULT_CHUNK_SIZE,
+                  bound_version: Optional[int] = None) -> str:
         """Content fingerprint of one chunk (for per-chunk result caches).
 
         Derived purely from the spec content and the chunk geometry --
         two processes that never exchanged arrays agree on it.
+
+        Args:
+            bound_version: When the cached artifact is a chunk *bound*
+                record rather than exact reducer payloads, pass
+                :data:`repro.core.bounds.BOUND_MODEL_VERSION` so bounds
+                from an older envelope model can never satisfy a newer
+                pruning run.
         """
         from repro.runtime.keys import fingerprint
 
+        if bound_version is None:
+            return fingerprint("grid-chunk", self.content_key(),
+                               chunk_size, index)
         return fingerprint("grid-chunk", self.content_key(), chunk_size,
-                           index)
+                           index, "bounds", bound_version)
 
     def _raw_columns(self, start: int, stop: int) -> Mapping[str, np.ndarray]:
         offsets = np.arange(start, stop, dtype=np.int64)

@@ -29,12 +29,17 @@ the derived properties of :class:`~repro.core.batch.BatchBreakdown`
 from __future__ import annotations
 
 import math
+import weakref
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, \
+    Sequence, Tuple
 
 import numpy as np
 
 from repro.core.batch import BatchBreakdown
+
+if TYPE_CHECKING:
+    from repro.core.bounds import ChunkBounds
 
 __all__ = [
     "METRICS",
@@ -66,15 +71,31 @@ METRICS: Tuple[str, ...] = (
 _CONFIG_COLUMNS = ("hidden", "seq_len", "batch", "tp", "dp")
 
 
+#: Memoized derived-metric columns, keyed by breakdown identity.  A
+#: multi-reducer sweep asks for the same derived property (e.g.
+#: ``exposed_comm_time``) several times per chunk; breakdowns are
+#: frozen, so the first materialized column can be reused verbatim.
+#: Weak keys let chunks be garbage-collected as the stream advances.
+_METRIC_CACHE: "weakref.WeakKeyDictionary[BatchBreakdown, Dict[str, np.ndarray]]" \
+    = weakref.WeakKeyDictionary()
+
+
 def metric_values(name: str, breakdown: BatchBreakdown) -> np.ndarray:
-    """The named metric as a per-config array.
+    """The named metric as a per-config array (memoized per breakdown).
 
     Raises:
         KeyError: for unknown metric names (lists the known ones).
     """
     if name not in METRICS:
         raise KeyError(f"unknown metric {name!r}; known: {list(METRICS)}")
-    return np.asarray(getattr(breakdown, name), dtype=np.float64)
+    columns = _METRIC_CACHE.get(breakdown)
+    if columns is None:
+        columns = _METRIC_CACHE.setdefault(breakdown, {})
+    values = columns.get(name)
+    if values is None:
+        values = columns[name] = np.asarray(getattr(breakdown, name),
+                                            dtype=np.float64)
+    return values
 
 
 @dataclass(frozen=True, eq=False)
@@ -182,6 +203,50 @@ class Reducer:
         """Render the merged payload into the reported result."""
         return payload
 
+    # -- chunk-interval pruning protocol ---------------------------------
+    #
+    # The bound-and-prune scheduler (megasweep with ``prune=True``) may
+    # skip a chunk's exact evaluation when, for EVERY reducer, the
+    # chunk's admissible metric intervals (:class:`~repro.core.bounds.
+    # ChunkBounds`) prove the chunk cannot change the final output.
+    # The default implementation is conservative: not prunable, so any
+    # reducer without an interval argument (Histogram, Collect) forces
+    # the sweep back to exhaustive evaluation.
+
+    @property
+    def prunable(self) -> bool:
+        """Whether chunk-interval pruning is sound for this reducer."""
+        return False
+
+    def threshold(self, payload: Dict[str, object]) -> object:
+        """The incumbent cut pruning compares bounds against.
+
+        ``None`` while the incumbent cannot reject anything (e.g. a
+        top-k list that is not yet full); otherwise a JSON-able summary
+        of the current selection boundary.
+        """
+        return None
+
+    def can_prune(self, payload: Dict[str, object],
+                  bounds: "ChunkBounds") -> bool:
+        """True when no row of the bounded chunk can enter the output.
+
+        Soundness contract: a ``True`` here must keep the final result
+        *bit-identical* to exhaustive evaluation, ties included --
+        implementations use strict inequalities wherever a tie could be
+        broken by the raw-grid offset of an unevaluated row.
+        """
+        return False
+
+    def priority_keys(self, bounds: "ChunkBounds") -> Tuple[float, ...]:
+        """Best-bound-first sort keys (ascending = most promising).
+
+        One float per selection objective; the scheduler ranks chunks
+        per key and evaluates the best-ranked chunks first so the
+        incumbent tightens as early as possible.
+        """
+        return ()
+
 
 def _entry_sort_key(entry: Mapping[str, object]) -> Tuple[float, int]:
     return (float(entry["value"]), int(entry["offset"]))
@@ -250,6 +315,35 @@ class TopK(Reducer):
         return {"entries": self._select(list(a["entries"])
                                         + list(b["entries"]))}
 
+    @property
+    def prunable(self) -> bool:
+        from repro.core.bounds import BOUNDED_METRICS
+
+        return self.metric in BOUNDED_METRICS
+
+    def threshold(self, payload: Dict[str, object]) -> Optional[float]:
+        """The k-th incumbent value, once the list is full."""
+        entries = payload["entries"]
+        if len(entries) < self.k:
+            return None
+        return float(entries[-1]["value"])
+
+    def can_prune(self, payload: Dict[str, object],
+                  bounds: "ChunkBounds") -> bool:
+        cut = self.threshold(payload)
+        if cut is None or not bounds.lower:
+            return False
+        # Strict comparisons: a row tying the k-th value could still win
+        # the offset tie-break, so equality is never prunable.
+        if self.largest:
+            return bounds.upper[self.metric] < cut
+        return bounds.lower[self.metric] > cut
+
+    def priority_keys(self, bounds: "ChunkBounds") -> Tuple[float, ...]:
+        if self.largest:
+            return (-bounds.upper[self.metric],)
+        return (bounds.lower[self.metric],)
+
 
 @dataclass(frozen=True)
 class ParetoFront(Reducer):
@@ -310,6 +404,51 @@ class ParetoFront(Reducer):
               b: Dict[str, object]) -> Dict[str, object]:
         return {"entries": self._frontier(list(a["entries"])
                                           + list(b["entries"]))}
+
+    @property
+    def prunable(self) -> bool:
+        from repro.core.bounds import BOUNDED_METRICS
+
+        return (self.metric_x in BOUNDED_METRICS
+                and self.metric_y in BOUNDED_METRICS)
+
+    def threshold(self, payload: Dict[str, object]
+                  ) -> Optional[List[List[float]]]:
+        """The incumbent frontier staircase as ``[x, y]`` pairs."""
+        entries = payload["entries"]
+        if not entries:
+            return None
+        return [[float(e["x"]), float(e["y"])] for e in entries]
+
+    def can_prune(self, payload: Dict[str, object],
+                  bounds: "ChunkBounds") -> bool:
+        """Prunable iff an incumbent point dominates the whole box.
+
+        A witness ``f`` with ``f.x < min lower(x)`` (strict: it sorts
+        before every chunk row regardless of offsets) and ``f.y <= min
+        lower(y)`` dominates every possible row of the chunk under the
+        frontier's drop rule, so no row can survive the final merge.
+        The y-comparison is deliberately non-strict -- the drop rule
+        ``y < best_y`` discards later-sorted ties, and ``f`` sorts
+        first.
+        """
+        entries = payload["entries"]
+        if not entries or not bounds.lower:
+            return False
+        x_floor = bounds.lower[self.metric_x]
+        y_floor = bounds.lower[self.metric_y]
+        # Frontier entries are sorted by ascending x with strictly
+        # decreasing y; the last entry left of x_floor has the best y.
+        witness = None
+        for entry in entries:
+            if entry["x"] < x_floor:
+                witness = entry
+            else:
+                break
+        return witness is not None and witness["y"] <= y_floor
+
+    def priority_keys(self, bounds: "ChunkBounds") -> Tuple[float, ...]:
+        return (bounds.lower[self.metric_x] + bounds.lower[self.metric_y],)
 
 
 @dataclass(frozen=True)
@@ -489,6 +628,32 @@ class ArgExtrema(Reducer):
             "min": self._better(a["min"], b["min"], largest=False),
             "max": self._better(a["max"], b["max"], largest=True),
         }
+
+    @property
+    def prunable(self) -> bool:
+        from repro.core.bounds import BOUNDED_METRICS
+
+        return self.metric in BOUNDED_METRICS
+
+    def threshold(self, payload: Dict[str, object]
+                  ) -> Optional[Dict[str, float]]:
+        """Incumbent ``{"min": value, "max": value}`` once both exist."""
+        if payload["min"] is None or payload["max"] is None:
+            return None
+        return {"min": float(payload["min"]["value"]),
+                "max": float(payload["max"]["value"])}
+
+    def can_prune(self, payload: Dict[str, object],
+                  bounds: "ChunkBounds") -> bool:
+        cut = self.threshold(payload)
+        if cut is None or not bounds.lower:
+            return False
+        # Strict on both sides: value ties fall back to offset order.
+        return (bounds.lower[self.metric] > cut["min"]
+                and bounds.upper[self.metric] < cut["max"])
+
+    def priority_keys(self, bounds: "ChunkBounds") -> Tuple[float, ...]:
+        return (bounds.lower[self.metric], -bounds.upper[self.metric])
 
 
 @dataclass(frozen=True)

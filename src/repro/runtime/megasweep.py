@@ -21,6 +21,20 @@ Determinism contract: for a fixed spec/reducers/evaluation context, the
 result is bit-identical for any ``chunk_size`` and ``jobs`` -- chunk
 ordering is fixed by the spec, reducer merges are order-independent,
 and partials are folded in chunk-index order anyway.
+
+``prune=True`` adds a two-phase **bound-and-prune** scheduler on top:
+phase 1 computes cheap admissible chunk intervals
+(:mod:`repro.core.bounds`) for every chunk; phase 2 evaluates chunks in
+best-bound-first priority order, maintains the global incumbent from
+the exact results, and skips any chunk whose interval proves -- via the
+reducers' :meth:`~repro.core.reducers.Reducer.can_prune` protocol --
+that none of its rows can reach the output.  Reducer merges are
+commutative, so folding in completion order keeps the *result*
+bit-identical to the exhaustive sweep for any ``jobs``; only the
+pruned-chunk *count* may vary with pool timing (a fresher incumbent
+prunes more).  Any non-prunable reducer (``Histogram``, ``Collect``)
+disables pruning automatically and the sweep reports why -- no silent
+result caps, ever.
 """
 
 from __future__ import annotations
@@ -150,6 +164,53 @@ def _eval_chunk_task(index: int) -> Tuple[int, ChunkRecord]:
     return index, _evaluate_chunk(_WORKER_CTX, index)
 
 
+def _chunk_bound_record(ctx: _SweepContext, index: int) -> ChunkRecord:
+    """Phase-1 task: one chunk's bound envelope as a JSON record."""
+    from repro.core.bounds import chunk_bounds
+
+    return chunk_bounds(
+        ctx.spec, index, ctx.chunk_size, mode=ctx.mode,
+        cluster=ctx.cluster, timing=ctx.timing, suite=ctx.suite,
+        scenario=ctx.scenario,
+    ).to_record()
+
+
+def _bound_chunk_task(index: int) -> Tuple[int, ChunkRecord]:
+    assert _WORKER_CTX is not None, "worker initialized without context"
+    return index, _chunk_bound_record(_WORKER_CTX, index)
+
+
+def _priority_order(reducers: Sequence[Reducer], bounds: Dict[int, object],
+                    pending: Sequence[int]) -> List[int]:
+    """Best-bound-first chunk order across all reducer objectives.
+
+    Each reducer contributes one or more priority keys per chunk; every
+    key column is ranked independently (value, then chunk index), and a
+    chunk's priority is its best rank across columns -- so a chunk that
+    is most promising for *any* objective is evaluated early, tightening
+    that objective's incumbent as fast as possible.  Deterministic for a
+    fixed spec and reducer set.
+    """
+    pending = list(pending)
+    if not pending:
+        return []
+    key_rows = [
+        tuple(key for reducer in reducers
+              for key in reducer.priority_keys(bounds[index]))
+        for index in pending
+    ]
+    best_rank = [len(pending)] * len(pending)
+    for column in range(len(key_rows[0])):
+        ranked = sorted(range(len(pending)),
+                        key=lambda p: (key_rows[p][column], pending[p]))
+        for rank, position in enumerate(ranked):
+            if rank < best_rank[position]:
+                best_rank[position] = rank
+    return [pending[p] for p in sorted(range(len(pending)),
+                                       key=lambda p: (best_rank[p],
+                                                      pending[p]))]
+
+
 class _Fold:
     """Accumulates chunk records strictly in chunk-index order.
 
@@ -187,6 +248,149 @@ class _Fold:
         }
 
 
+def _pruned_sweep(ctx: _SweepContext,
+                  workers: int,
+                  n_chunks: int,
+                  cache_get: Optional[Callable[[int],
+                                               Optional[ChunkRecord]]],
+                  cache_put: Optional[Callable[[int, ChunkRecord], None]],
+                  bounds_cache_get: Optional[Callable[[int],
+                                                      Optional[ChunkRecord]]],
+                  bounds_cache_put: Optional[Callable[[int, ChunkRecord],
+                                                      None]],
+                  ) -> Tuple[List[Dict[str, object]], int, int,
+                             Dict[str, object]]:
+    """The two-phase bound-and-prune scheduler.
+
+    Returns ``(payloads, evaluated_points, cache_hits, prune_meta)``.
+    Exact chunk records are produced by the same ``_evaluate_chunk`` as
+    the exhaustive path (and stored through the same cache hooks), so
+    every evaluated chunk's payloads are bit-identical by construction;
+    pruned chunks contribute nothing, which the reducers' ``can_prune``
+    contracts certify cannot change the merged output.
+    """
+    from repro.core.bounds import BOUND_MODEL_VERSION, ChunkBounds
+
+    payloads = [reducer.empty() for reducer in ctx.reducers]
+    evaluated = 0
+    feasible = 0
+    cache_hits = 0
+
+    def merge_record(record: ChunkRecord) -> None:
+        nonlocal evaluated
+        evaluated += int(record["evaluated"])
+        for i, reducer in enumerate(ctx.reducers):
+            payloads[i] = reducer.merge(payloads[i],
+                                        record["payloads"][i])
+
+    # Phase 1: replay already-exact chunks from the cache (they only
+    # tighten the incumbent), bound everything else.
+    bounds: Dict[int, ChunkBounds] = {}
+    to_bound: List[int] = []
+    for index in range(n_chunks):
+        cached = cache_get(index) if cache_get is not None else None
+        if cached is not None:
+            cache_hits += 1
+            feasible += int(cached["evaluated"])
+            merge_record(cached)
+            continue
+        record = (bounds_cache_get(index)
+                  if bounds_cache_get is not None else None)
+        if record is not None:
+            bounds[index] = ChunkBounds.from_record(record)
+        else:
+            to_bound.append(index)
+
+    pool: Optional[ProcessPoolExecutor] = None
+    try:
+        if workers > 1 and n_chunks > 1:
+            pool = ProcessPoolExecutor(max_workers=workers,
+                                       initializer=_init_worker,
+                                       initargs=(ctx,))
+        if pool is not None and len(to_bound) > 1:
+            batched = max(1, len(to_bound) // (4 * workers))
+            results = pool.map(_bound_chunk_task, to_bound,
+                               chunksize=batched)
+        else:
+            results = ((index, _chunk_bound_record(ctx, index))
+                       for index in to_bound)
+        for index, record in results:
+            if bounds_cache_put is not None:
+                bounds_cache_put(index, record)
+            bounds[index] = ChunkBounds.from_record(record)
+        feasible += sum(entry.rows for entry in bounds.values())
+        empty_chunks = sum(1 for entry in bounds.values()
+                           if entry.rows == 0)
+
+        # Phase 2: exact evaluation in best-bound-first order, pruning
+        # against the incumbent as it tightens.
+        pending = [index for index in sorted(bounds)
+                   if bounds[index].rows > 0]
+        order = _priority_order(ctx.reducers, bounds, pending)
+        pruned_chunks = 0
+        exact_chunks = 0
+
+        def skippable(index: int) -> bool:
+            entry = bounds[index]
+            return all(reducer.can_prune(payloads[i], entry)
+                       for i, reducer in enumerate(ctx.reducers))
+
+        if pool is None:
+            for index in order:
+                if skippable(index):
+                    pruned_chunks += 1
+                    continue
+                record = _evaluate_chunk(ctx, index)
+                if cache_put is not None:
+                    cache_put(index, record)
+                merge_record(record)
+                exact_chunks += 1
+        else:
+            window = 2 * workers
+            inflight: Deque[Future] = deque()
+
+            def drain(future: Future) -> None:
+                nonlocal exact_chunks
+                index, record = future.result()
+                if cache_put is not None:
+                    cache_put(index, record)
+                merge_record(record)
+                exact_chunks += 1
+
+            try:
+                for index in order:
+                    if skippable(index):
+                        pruned_chunks += 1
+                        continue
+                    inflight.append(pool.submit(_eval_chunk_task, index))
+                    if len(inflight) >= window:
+                        drain(inflight.popleft())
+                while inflight:
+                    drain(inflight.popleft())
+            finally:
+                for future in inflight:
+                    future.cancel()
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    considered = max(1, len(order))
+    prune_meta: Dict[str, object] = {
+        "enabled": True,
+        "bound_version": BOUND_MODEL_VERSION,
+        "chunks": n_chunks,
+        "cached_chunks": cache_hits,
+        "empty_chunks": empty_chunks,
+        "pruned_chunks": pruned_chunks,
+        "exact_chunks": exact_chunks,
+        "feasible_points": feasible,
+        "exact_points": evaluated,
+        "exact_chunk_fraction": exact_chunks / considered,
+        "exact_point_fraction": evaluated / max(1, feasible),
+    }
+    return payloads, evaluated, cache_hits, prune_meta
+
+
 def stream_sweep(spec: GridSpec,
                  reducers: Sequence[Reducer],
                  cluster: Optional[ClusterSpec] = None,
@@ -197,10 +401,16 @@ def stream_sweep(spec: GridSpec,
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
                  jobs: Optional[int] = 1,
                  check: Optional[bool] = None,
+                 prune: bool = False,
                  cache_get: Optional[Callable[[int],
                                               Optional[ChunkRecord]]] = None,
                  cache_put: Optional[Callable[[int, ChunkRecord],
-                                              None]] = None
+                                              None]] = None,
+                 bounds_cache_get: Optional[Callable[[int],
+                                                     Optional[ChunkRecord]]
+                                            ] = None,
+                 bounds_cache_put: Optional[Callable[[int, ChunkRecord],
+                                                     None]] = None
                  ) -> SweepResult:
     """Evaluate a lazy grid in chunks and reduce it online.
 
@@ -222,9 +432,18 @@ def stream_sweep(spec: GridSpec,
             means CPU count.
         check: Run the PR-3 invariant validator on every chunk's
             breakdown; ``None`` defers to ``REPRO_CHECK``.
+        prune: Use the two-phase bound-and-prune scheduler.  Results
+            stay bit-identical to the exhaustive sweep; only wall time
+            and ``meta["prune"]`` accounting change.  Silently falls
+            back to exhaustive evaluation (with
+            ``meta["prune"]["reason"]`` explaining why) when any
+            reducer is not prunable.
         cache_get / cache_put: Optional per-chunk record hooks (used by
             :meth:`repro.runtime.session.Session.stream_sweep` for
             content-keyed replay).  Called only in this process.
+        bounds_cache_get / bounds_cache_put: Same, for phase-1 bound
+            records (only consulted when ``prune=True``).  Keys must
+            incorporate :data:`repro.core.bounds.BOUND_MODEL_VERSION`.
 
     Raises:
         ValueError: Unknown mode, or project mode without a suite.
@@ -253,6 +472,39 @@ def stream_sweep(spec: GridSpec,
     )
     workers = resolve_jobs(jobs)
     n_chunks = spec.chunk_count(chunk_size)
+
+    prune_meta: Optional[Dict[str, object]] = None
+    if prune:
+        blockers = [reducer.label for reducer in ctx.reducers
+                    if not reducer.prunable]
+        if blockers:
+            prune_meta = {
+                "enabled": False,
+                "reason": ("non-prunable reducer(s): "
+                           + ", ".join(sorted(blockers))),
+            }
+        else:
+            payloads, evaluated, cache_hits, prune_meta = _pruned_sweep(
+                ctx, workers, n_chunks, cache_get, cache_put,
+                bounds_cache_get, bounds_cache_put)
+            reductions = {
+                reducer.label: reducer.finalize(payload)
+                for reducer, payload in zip(ctx.reducers, payloads)
+            }
+            return SweepResult(
+                reductions=reductions,
+                raw_points=spec.raw_size,
+                evaluated_points=evaluated,
+                chunk_count=n_chunks,
+                chunk_size=chunk_size,
+                jobs=workers,
+                mode=mode,
+                wall_time_s=time.perf_counter() - start,
+                cache_hits=cache_hits,
+                meta={"spec_key": spec.content_key(),
+                      "prune": prune_meta},
+            )
+
     fold = _Fold(ctx.reducers)
     cache_hits = 0
 
@@ -306,5 +558,7 @@ def stream_sweep(spec: GridSpec,
         mode=mode,
         wall_time_s=time.perf_counter() - start,
         cache_hits=cache_hits,
-        meta={"spec_key": spec.content_key()},
+        meta=({"spec_key": spec.content_key(), "prune": prune_meta}
+              if prune_meta is not None
+              else {"spec_key": spec.content_key()}),
     )

@@ -269,6 +269,7 @@ class Session:
                      scenario: Optional[object] = None,
                      chunk_size: Optional[int] = None,
                      jobs: Optional[int] = None,
+                     prune: bool = False,
                      use_cache: bool = True) -> "SweepResult":
         """Cache-backed streaming sweep over a lazy grid.
 
@@ -280,10 +281,18 @@ class Session:
         context, so re-running the same sweep -- or a larger sweep
         sharing a prefix of chunks -- replays instead of re-evaluating.
 
+        With ``prune=True`` the sweep takes the bound-and-prune path
+        (bit-identical results; see
+        :func:`repro.runtime.megasweep.stream_sweep`).  Exact chunk
+        records keep the same cache keys as exhaustive sweeps -- the
+        two paths share warm state -- while phase-1 bound records are
+        keyed separately under the bound-model version.
+
         In ``"project"`` mode the operator-model suite comes from
         :meth:`suite` (fitted once per session).  The sweep inherits
         the session's ``check`` flag and default ``jobs``.
         """
+        from repro.core.bounds import BOUND_MODEL_VERSION
         from repro.core.gridplan import DEFAULT_CHUNK_SIZE
         from repro.runtime.megasweep import stream_sweep
 
@@ -310,6 +319,25 @@ class Session:
         def cache_put(index: int, record: Dict[str, object]) -> None:
             self.cache.put(chunk_cache_key(index), record)
 
+        bounds_context = fingerprint("chunk-bounds", CACHE_VERSION,
+                                     BOUND_MODEL_VERSION, mode, cluster,
+                                     timing, scenario)
+
+        def bounds_cache_key(index: int) -> str:
+            return cache_key(
+                bounds_context,
+                spec.chunk_key(index, chunk_size,
+                               bound_version=BOUND_MODEL_VERSION))
+
+        def bounds_cache_get(index: int) -> Optional[Dict[str, object]]:
+            cached = self.cache.get(bounds_cache_key(index))
+            return cached if isinstance(cached, dict) else None
+
+        def bounds_cache_put(index: int,
+                             record: Dict[str, object]) -> None:
+            self.cache.put(bounds_cache_key(index), record)
+
+        use_bounds_cache = prune and use_cache
         return stream_sweep(
             spec,
             reducers,
@@ -321,8 +349,13 @@ class Session:
             chunk_size=chunk_size,
             jobs=jobs,
             check=self.check,
+            prune=prune,
             cache_get=cache_get if use_cache else None,
             cache_put=cache_put if use_cache else None,
+            bounds_cache_get=(bounds_cache_get if use_bounds_cache
+                              else None),
+            bounds_cache_put=(bounds_cache_put if use_bounds_cache
+                              else None),
         )
 
     # -- experiment execution --------------------------------------------

@@ -5,7 +5,7 @@ profiling cost -- rests on the simulator being correct, and the repo
 carries two independent engines (the scalar per-config path of
 :mod:`repro.sim.executor` and the vectorized batch path of
 :mod:`repro.core.batch`) whose agreement must hold bit-for-bit.  This
-module keeps them honest with three layers:
+module keeps them honest with five layers:
 
 1. **Schedule validation** (:func:`validate_schedule`,
    :func:`validate_execution`, :func:`validate_batch`): assert the stream
@@ -34,6 +34,15 @@ module keeps them honest with three layers:
    same grid: collected breakdown arrays and every online reducer's
    finalized output must match bit-for-bit across chunk sizes and
    across the serial path vs a multi-process pool.
+
+5. **Prune oracle** (:func:`prune_oracle`): the bound-and-prune search
+   path held to its two contracts.  Admissibility: on seeded random
+   configurations, every :data:`repro.core.bounds.BOUNDED_METRICS`
+   interval must satisfy ``lower <= exact <= upper`` against the batch
+   engine.  Zero drift: pruned ``stream_sweep(prune=True)`` runs over a
+   seeded ~200-chunk grid must reproduce the exhaustive reductions
+   bit-for-bit across chunk sizes and worker counts, while the reported
+   exact-evaluated fraction confirms pruning actually engaged.
 
 Run every layer from the command line with ``python -m repro check``.
 """
@@ -86,6 +95,8 @@ __all__ = [
     "SelfTestReport",
     "StreamReport",
     "stream_oracle",
+    "PruneReport",
+    "prune_oracle",
 ]
 
 #: Environment variable that turns invariant checking on everywhere a
@@ -666,3 +677,156 @@ def stream_oracle(cluster: Optional[ClusterSpec] = None,
                     mismatches.append(f"{label}/{reducer.label}")
     return StreamReport(points=len(whole.grid), variants=tuple(variants),
                         mismatches=tuple(mismatches))
+
+
+# -- prune oracle --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """Outcome of the bound-and-prune differential check.
+
+    Attributes:
+        configs: Seeded random configs checked for bound admissibility.
+        bound_violations: ``metric@index`` labels where an admissible
+            interval failed ``lower <= exact <= upper``.
+        points: Grid rows of the pruned-vs-exhaustive sweep (after
+            constraints).
+        variants: Pruned sweep variants compared against the exhaustive
+            reference, as ``chunk<size>-jobs<n>`` labels.
+        mismatches: ``variant/reduction`` labels whose pruned output
+            diverged from the exhaustive reference.
+        exact_fraction: Mean fraction of non-empty chunks the pruned
+            variants evaluated exactly (must be < 1 for the check to
+            mean anything; reported so regressions in pruning power are
+            visible).
+    """
+
+    configs: int
+    bound_violations: Tuple[str, ...]
+    points: int
+    variants: Tuple[str, ...]
+    mismatches: Tuple[str, ...] = ()
+    exact_fraction: float = 1.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.bound_violations and not self.mismatches
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAIL"
+        lines = [
+            f"prune oracle: {status} -- bounds admissible on "
+            f"{self.configs} seeded configs; {len(self.variants)} pruned "
+            f"variants ({', '.join(self.variants)}) over {self.points} "
+            f"configs match the exhaustive sweep bit-for-bit "
+            f"(mean exact-chunk fraction {self.exact_fraction:.2f})",
+        ]
+        lines.extend(f"  bound violation: {label}"
+                     for label in self.bound_violations[:10])
+        lines.extend(f"  mismatch: {label}" for label in self.mismatches)
+        return "\n".join(lines)
+
+
+def _prune_reference_spec():
+    """A ~200-chunk mixed-parity grid (at chunk size 4) for the oracle."""
+    from repro.core.gridplan import GridSpec, MaxWorldSize
+
+    return GridSpec(
+        hidden=(512, 1024, 2048, 4096),
+        seq_len=(256, 512, 1024),
+        batch=(1, 2, 4, 8),
+        tp=(1, 2, 4, 8),
+        dp=(1, 2, 4, 8),
+        constraints=(MaxWorldSize(32),),
+    )
+
+
+def prune_oracle(cluster: Optional[ClusterSpec] = None,
+                 timing: TimingModels = DEFAULT_TIMING,
+                 n: int = 160,
+                 seed: int = 0,
+                 chunk_sizes: Sequence[int] = (4, 16),
+                 jobs: Sequence[int] = (1, 2)) -> PruneReport:
+    """Bound admissibility plus pruned-vs-exhaustive bit-equality.
+
+    Part one evaluates seeded random configurations with both
+    :func:`repro.core.bounds.bound_grid` and the exact batch engine and
+    asserts ``lower <= exact <= upper`` elementwise for every bounded
+    metric.  Part two streams a seeded mixed-parity grid through
+    ``stream_sweep(prune=True)`` for every ``(chunk_size, jobs)``
+    variant and requires each finalized reduction to equal the
+    exhaustive sweep's output exactly -- the bound-and-prune scheduler
+    may only ever skip work, never change results.
+    """
+    import numpy as np
+
+    from repro.core.batch import ConfigGrid, batch_execute
+    from repro.core.bounds import BOUNDED_METRICS, bound_grid
+    from repro.core.reducers import ArgExtrema, ParetoFront, TopK
+    from repro.runtime.megasweep import stream_sweep
+
+    cluster = cluster if cluster is not None else mi210_node()
+
+    grid = ConfigGrid.from_models(random_configs(n, seed))
+    exact = batch_execute(grid, cluster, timing)
+    bounds = bound_grid(grid, cluster=cluster, timing=timing)
+    bound_violations: List[str] = []
+    for metric in BOUNDED_METRICS:
+        values = np.asarray(getattr(exact, metric), dtype=np.float64)
+        bad = np.flatnonzero((bounds.lower[metric] > values)
+                             | (values > bounds.upper[metric]))
+        bound_violations.extend(f"{metric}@{index}" for index in bad)
+
+    # Two reducer sets: "full" stresses agreement when every objective
+    # must consent to a skip (pruning is rare but must stay safe);
+    # "select" is the realistic search shape (top-k + Pareto) where
+    # pruning actually engages, so the skip branch itself is exercised.
+    reducer_sets = {
+        "full": lambda: (
+            TopK("iteration_time", k=5, largest=False),
+            TopK("compute_time", k=3, largest=True),
+            ParetoFront(),
+            ArgExtrema("exposed_comm_time"),
+        ),
+        "select": lambda: (
+            TopK("iteration_time", k=5, largest=False),
+            ParetoFront(),
+        ),
+    }
+
+    spec = _prune_reference_spec()
+    points = 0
+    variants: List[str] = []
+    mismatches: List[str] = []
+    fractions: List[float] = []
+    for set_name, make_reducers in reducer_sets.items():
+        reference = stream_sweep(spec, make_reducers(), cluster=cluster,
+                                 timing=timing, chunk_size=16, jobs=1)
+        points = reference.evaluated_points
+        for chunk_size in chunk_sizes:
+            for n_jobs in jobs:
+                label = f"{set_name}-chunk{chunk_size}-jobs{n_jobs}"
+                variants.append(label)
+                pruned = stream_sweep(spec, make_reducers(),
+                                      cluster=cluster, timing=timing,
+                                      chunk_size=chunk_size, jobs=n_jobs,
+                                      prune=True)
+                meta = pruned.meta["prune"]
+                if not meta["enabled"]:
+                    mismatches.append(f"{label}/prune-disabled")
+                    continue
+                if set_name == "select":
+                    fractions.append(float(meta["exact_chunk_fraction"]))
+                for key, reference_value in reference.reductions.items():
+                    if pruned.reductions[key] != reference_value:
+                        mismatches.append(f"{label}/{key}")
+    exact_fraction = (sum(fractions) / len(fractions)) if fractions else 1.0
+    return PruneReport(
+        configs=n,
+        bound_violations=tuple(bound_violations),
+        points=points,
+        variants=tuple(variants),
+        mismatches=tuple(mismatches),
+        exact_fraction=exact_fraction,
+    )

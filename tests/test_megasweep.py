@@ -208,6 +208,102 @@ class TestSessionStreamSweep:
         assert result.evaluated_points > 0
 
 
+PRUNABLE = (
+    TopK("iteration_time", k=5, largest=False),
+    TopK("compute_time", k=3, largest=True),
+    ParetoFront(),
+    ArgExtrema("exposed_comm_time"),
+)
+
+
+class TestBoundAndPrune:
+    @pytest.mark.parametrize("jobs", (1, 2))
+    @pytest.mark.parametrize("chunk_size", (3, 7, 16))
+    def test_pruned_is_bit_identical_to_exhaustive(self, chunk_size,
+                                                   jobs):
+        spec = spec_with()
+        reference = one_shot_reductions(spec, PRUNABLE)
+        result = stream_sweep(spec, PRUNABLE, cluster=CLUSTER,
+                              chunk_size=chunk_size, jobs=jobs,
+                              prune=True)
+        assert result.reductions == reference
+        assert result.meta["prune"]["enabled"]
+
+    def test_prune_actually_skips_chunks(self):
+        # A single narrow objective leaves most chunks provably
+        # irrelevant once the incumbent tightens.
+        spec = spec_with()
+        selection = (TopK("iteration_time", k=1, largest=False),)
+        reference = one_shot_reductions(spec, selection)
+        result = stream_sweep(spec, selection, cluster=CLUSTER,
+                              chunk_size=3, jobs=1, prune=True)
+        meta = result.meta["prune"]
+        assert result.reductions == reference
+        assert meta["pruned_chunks"] > 0
+        assert result.evaluated_points < len(spec.materialize().grid)
+
+    def test_prune_accounting_is_complete(self):
+        spec = spec_with()
+        result = stream_sweep(spec, PRUNABLE, cluster=CLUSTER,
+                              chunk_size=4, jobs=1, prune=True)
+        meta = result.meta["prune"]
+        assert (meta["cached_chunks"] + meta["empty_chunks"]
+                + meta["pruned_chunks"] + meta["exact_chunks"]
+                == meta["chunks"] == result.chunk_count)
+        assert meta["exact_points"] == result.evaluated_points
+        assert meta["feasible_points"] == len(spec.materialize().grid)
+        assert 0 < meta["exact_point_fraction"] <= 1
+
+    def test_non_prunable_reducer_falls_back(self):
+        spec = spec_with()
+        mixed = PRUNABLE + (
+            Histogram("serialized_comm_fraction", bins=8),)
+        reference = one_shot_reductions(spec, mixed)
+        result = stream_sweep(spec, mixed, cluster=CLUSTER,
+                              chunk_size=7, jobs=1, prune=True)
+        assert result.reductions == reference
+        meta = result.meta["prune"]
+        assert meta["enabled"] is False
+        assert "hist8:serialized_comm_fraction" in meta["reason"]
+        # every feasible point was evaluated -- nothing silently capped
+        assert result.evaluated_points == len(spec.materialize().grid)
+
+    def test_session_pruned_warm_replay(self):
+        session = Session(cluster=CLUSTER)
+        spec = spec_with()
+        cold = session.stream_sweep(spec, PRUNABLE, chunk_size=4,
+                                    prune=True)
+        warm = session.stream_sweep(spec, PRUNABLE, chunk_size=4,
+                                    prune=True)
+        assert warm.reductions == cold.reductions
+        # exact chunk records replay; the rest are re-pruned from the
+        # (also cached) bound records without touching the engine.
+        assert warm.cache_hits == cold.meta["prune"]["exact_chunks"]
+        assert warm.meta["prune"]["cached_chunks"] == warm.cache_hits
+
+    def test_pruned_and_exhaustive_share_exact_records(self):
+        session = Session(cluster=CLUSTER)
+        spec = spec_with()
+        pruned = session.stream_sweep(spec, PRUNABLE, chunk_size=4,
+                                      prune=True)
+        exhaustive = session.stream_sweep(spec, PRUNABLE, chunk_size=4)
+        assert exhaustive.reductions == pruned.reductions
+        assert exhaustive.cache_hits \
+            == pruned.meta["prune"]["exact_chunks"]
+
+    def test_project_mode_prunes(self):
+        session = Session(cluster=CLUSTER)
+        suite = session.suite()
+        spec = spec_with()
+        reference = one_shot_reductions(spec, PRUNABLE, mode="project",
+                                        suite=suite)
+        result = stream_sweep(spec, PRUNABLE, cluster=CLUSTER,
+                              mode="project", suite=suite, chunk_size=5,
+                              prune=True)
+        assert result.reductions == reference
+        assert result.meta["prune"]["enabled"]
+
+
 class TestParallelMapLazy:
     def test_lazy_consumption_bounded_window(self):
         high_water = [0]
